@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Each ``test_figXX_*.py`` regenerates one paper figure/table: it runs the
+experiment through the library, prints the paper-style rows (visible with
+``pytest benchmarks/ --benchmark-only -s``), and asserts the figure's
+qualitative shape (who wins, monotonicity, crossovers).
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import paperbench` work regardless of pytest rootdir configuration.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,38 @@
+"""Fig. 2 — percentage of non-continuous DRAM accesses in neighbor search.
+
+Paper: 99.54–99.95% of DRAM accesses in K-d tree neighbor search are
+non-continuous across the four networks.  Reproduction target: the
+overwhelming majority (>90%) of accesses are non-streaming for every
+network.
+"""
+
+from repro.accel import evaluation_networks
+from repro.analysis import format_table, nonstreaming_fraction
+
+PAPER = {
+    "PointNet++ (c)": 0.9995,
+    "PointNet++ (s)": 0.9995,
+    "DensePoint": 0.9993,
+    "F-PointNet": 0.9954,
+}
+
+
+def test_fig02_nonstreaming_fraction(benchmark):
+    def run():
+        return {
+            name: nonstreaming_fraction(name)
+            for name in evaluation_networks()
+        }
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, f"{PAPER[name] * 100:.2f}", f"{measured[name] * 100:.2f}"]
+        for name in measured
+    ]
+    print()
+    print(format_table(
+        "Fig. 2: non-continuous DRAM accesses in neighbor search (%)",
+        ["network", "paper", "measured"], rows,
+    ))
+    for name, frac in measured.items():
+        assert frac > 0.90, f"{name}: only {frac:.2%} non-streaming"

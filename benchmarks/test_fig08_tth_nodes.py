@@ -1,0 +1,34 @@
+"""Fig. 8 — nodes visited per query vs top-tree height.
+
+Paper: increasing the top-tree height monotonically reduces per-query node
+visits (only ~2% of nodes visited at h_t = 10 on KITTI-scale trees).
+Reproduction target: monotone non-increasing, with the tallest split
+visiting well under half the exact search's nodes.
+"""
+
+import numpy as np
+
+from repro.accel import workload_points
+from repro.analysis import format_series, nodes_visited_vs_top_height
+
+HEIGHTS = (0, 2, 4, 6, 8)
+
+
+def test_fig08_nodes_visited_vs_tth(benchmark):
+    points = workload_points("PointNet++ (c)")
+    rng = np.random.default_rng(1)
+    queries = points[rng.choice(len(points), 256, replace=False)]
+
+    result = benchmark.pedantic(
+        lambda: nodes_visited_vs_top_height(points, queries, 0.1, 16, HEIGHTS),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_series(
+        "Fig. 8: normalized nodes visited per query vs top-tree height",
+        list(result.keys()), list(result.values()),
+    ))
+    values = [result[h] for h in HEIGHTS]
+    assert values[0] == 1.0
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert values[-1] < 0.5

@@ -1,0 +1,37 @@
+"""Fig. 9 — nodes skipped per query vs elision height.
+
+Paper (tree height 14): eliding conflicts below level 2 skips ~100% of
+nodes; at level 12 only ~10% are skipped.  Reproduction target: skips
+decrease monotonically as the elision height rises, spanning at least a
+4× range.
+"""
+
+import numpy as np
+
+from repro.accel import workload_points
+from repro.analysis import format_series, nodes_skipped_vs_elision_height
+
+ELISION_HEIGHTS = (3, 5, 7, 9, 11)
+
+
+def test_fig09_nodes_skipped_vs_elision(benchmark):
+    points = workload_points("PointNet++ (c)")
+    rng = np.random.default_rng(2)
+    queries = points[rng.choice(len(points), 256, replace=False)]
+
+    result = benchmark.pedantic(
+        lambda: nodes_skipped_vs_elision_height(
+            points, queries, 0.1, 16, top_height=2,
+            elision_heights=ELISION_HEIGHTS,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_series(
+        "Fig. 9: normalized nodes skipped per query vs elision height",
+        list(result.keys()), list(result.values()),
+    ))
+    values = [result[h] for h in ELISION_HEIGHTS]
+    assert values[0] == 1.0  # most aggressive elision skips the most
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert values[-1] < 0.25

@@ -1,0 +1,48 @@
+"""Fig. 14 — end-to-end speedup and normalized energy vs the baselines.
+
+Paper: ANS averages 1.7× and ANS+BCE 1.9× speedup over Mesorasi (up to
+2.8×/3.1× on DensePoint); ANS/ANS+BCE save 33%/36% energy; Tigris+GPU and
+GPU are far slower and consume 25×/38× more energy than Mesorasi.
+Reproduction target: same ordering, ANS+BCE ≥ 1.4× average speedup with
+DensePoint the best network, energy saved on average, GPU ≫ Mesorasi
+energy.
+"""
+
+import statistics
+
+from repro.analysis import format_table, run_evaluation_suite
+
+
+def test_fig14_speedup_and_energy(benchmark):
+    suite = benchmark.pedantic(run_evaluation_suite, rounds=1, iterations=1)
+    rows = []
+    for name, r in suite.items():
+        rows.append([
+            name,
+            f"{r.speedup_ans:.2f}x", f"{r.speedup_bce:.2f}x",
+            f"{r.norm_energy_ans:.2f}", f"{r.norm_energy_bce:.2f}",
+            f"{r.gpu_energy / r.mesorasi.energy.total:.0f}x",
+            f"{r.tigris_gpu_energy / r.mesorasi.energy.total:.0f}x",
+        ])
+    print()
+    print(format_table(
+        "Fig. 14: end-to-end speedup / normalized energy (vs Mesorasi = 1)",
+        ["network", "ANS speedup", "ANS+BCE speedup", "ANS energy",
+         "ANS+BCE energy", "GPU energy", "Tigris+GPU energy"],
+        rows,
+    ))
+    speedups_bce = [r.speedup_bce for r in suite.values()]
+    avg = statistics.geometric_mean(speedups_bce)
+    print(f"geomean ANS+BCE speedup: {avg:.2f}x (paper: 1.9x)")
+
+    assert avg > 1.4
+    best = max(suite.values(), key=lambda r: r.speedup_bce)
+    assert best.name == "DensePoint"
+    assert best.speedup_bce > 2.0
+    for r in suite.values():
+        assert r.speedup_bce >= r.speedup_ans * 0.95  # BCE adds on top of ANS
+        assert r.norm_energy_bce < 1.0
+        assert r.gpu_energy > 10 * r.mesorasi.energy.total
+        assert r.tigris_gpu_energy < r.gpu_energy
+        # GPU baselines are slower than any accelerator variant.
+        assert r.gpu_cycles > r.mesorasi.cycles

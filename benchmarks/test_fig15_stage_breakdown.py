@@ -1,0 +1,38 @@
+"""Fig. 15 — neighbor-search and aggregation speedups in isolation.
+
+Paper: ANS+BCE speeds up neighbor search by 4.9× and aggregation by 2.1×
+on average, with sizeable energy savings on both stages.  Reproduction
+target: both stages accelerate on every network, and the stage speedups
+exceed the end-to-end speedup (Amdahl).
+"""
+
+import statistics
+
+from repro.analysis import format_table, run_evaluation_suite
+
+
+def test_fig15_stage_speedups(benchmark):
+    suite = benchmark.pedantic(run_evaluation_suite, rounds=1, iterations=1)
+    rows = []
+    search_speedups, agg_speedups = [], []
+    for name, r in suite.items():
+        search = r.mesorasi.search_cycles / max(r.ans_bce.search_cycles, 1)
+        agg = r.mesorasi.aggregation_cycles / max(r.ans_bce.aggregation_cycles, 1)
+        search_speedups.append(search)
+        agg_speedups.append(agg)
+        rows.append([name, f"{search:.2f}x", f"{agg:.2f}x"])
+    print()
+    print(format_table(
+        "Fig. 15: stage speedups of ANS+BCE (paper avg: search 4.9x, agg 2.1x)",
+        ["network", "neighbor search", "aggregation"], rows,
+    ))
+    print(f"geomean: search {statistics.geometric_mean(search_speedups):.2f}x, "
+          f"aggregation {statistics.geometric_mean(agg_speedups):.2f}x")
+
+    for name, r in suite.items():
+        search = r.mesorasi.search_cycles / max(r.ans_bce.search_cycles, 1)
+        agg = r.mesorasi.aggregation_cycles / max(r.ans_bce.aggregation_cycles, 1)
+        end_to_end = r.speedup_bce
+        assert search > 1.5, name
+        assert agg > 1.2, name
+        assert search > end_to_end, name  # Amdahl: the MLP stage is untouched

@@ -1,0 +1,41 @@
+"""Fig. 16 — memory energy-saving contribution breakdown.
+
+Paper: savings decompose into DRAM traffic reduction, random→streaming
+DRAM conversion, SRAM traffic reduction in neighbor search, and SRAM
+traffic reduction in aggregation; SRAM-side search savings are the
+largest contributor.  Reproduction target: all four components are
+non-negative, sum to 1, and the SRAM search component is material
+(>10%) for every network.
+"""
+
+from repro.analysis import (
+    energy_saving_contributions,
+    format_table,
+    run_evaluation_suite,
+)
+
+COMPONENTS = ("dram_traffic", "dram_streaming", "sram_search", "sram_aggregation")
+
+
+def test_fig16_energy_saving_contributions(benchmark):
+    def run():
+        suite = run_evaluation_suite()
+        return {name: energy_saving_contributions(r) for name, r in suite.items()}
+
+    contributions = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{c[key] * 100:.1f}" for key in COMPONENTS]
+        for name, c in contributions.items()
+    ]
+    print()
+    print(format_table(
+        "Fig. 16: memory energy saving contribution (%)",
+        ["network", "DRAM traffic", "DRAM streaming", "SRAM search",
+         "SRAM aggregation"],
+        rows,
+    ))
+    for name, c in contributions.items():
+        total = sum(c.values())
+        assert abs(total - 1.0) < 1e-6, name
+        assert all(v >= 0 for v in c.values()), name
+        assert c["sram_search"] > 0.10, name

@@ -1,0 +1,41 @@
+"""Fig. 17 — bank-conflict reduction and tree-node-access reduction of
+ANS+BCE relative to ANS.
+
+Paper: BCE elides >45% of bank conflicts and cuts ~50% of tree node
+accesses in neighbor search.  Reproduction target: on every network, BCE
+meaningfully reduces both the stall-causing conflicts and the node visits
+relative to ANS alone.
+"""
+
+from repro.analysis import format_table, run_evaluation_suite
+
+
+def _search_reports(result):
+    """Aggregate per-layer search reports of a network run."""
+    conflicts = sum(l.search.report.tree_sram.conflicted for l in result.layers)
+    stalls = sum(l.search.report.stall_cycles for l in result.layers)
+    visits = sum(l.search.report.traversal.nodes_visited for l in result.layers)
+    return conflicts, stalls, visits
+
+
+def test_fig17_bce_reductions(benchmark):
+    suite = benchmark.pedantic(run_evaluation_suite, rounds=1, iterations=1)
+    rows = []
+    for name, r in suite.items():
+        _, ans_stalls, ans_visits = _search_reports(r.ans)
+        _, bce_stalls, bce_visits = _search_reports(r.ans_bce)
+        stall_red = 1.0 - bce_stalls / max(ans_stalls, 1)
+        visit_red = 1.0 - bce_visits / max(ans_visits, 1)
+        rows.append([name, f"{stall_red * 100:.1f}", f"{visit_red * 100:.1f}"])
+    print()
+    print(format_table(
+        "Fig. 17: ANS+BCE vs ANS (paper: >45% conflict, ~50% node reduction)",
+        ["network", "conflict-stall reduction (%)", "node access reduction (%)"],
+        rows,
+    ))
+    for name, r in suite.items():
+        _, ans_stalls, ans_visits = _search_reports(r.ans)
+        _, bce_stalls, bce_visits = _search_reports(r.ans_bce)
+        assert bce_stalls < ans_stalls, name  # elision removes stalls
+        assert bce_visits < ans_visits, name  # skipped subtrees
+        assert 1.0 - bce_visits / ans_visits > 0.10, name

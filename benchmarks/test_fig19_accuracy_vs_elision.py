@@ -1,0 +1,58 @@
+"""Fig. 19 — accuracy vs elision height.
+
+Paper (PointNet++(c), h_t = 4): accuracy rises with the elision height —
+5%+ loss at h_e = 4 (almost everything elided) but only 0.8% at h_e = 12.
+
+Reproduction: the *mechanical* trend — on fixed weights, eliding fewer
+nodes recovers more accuracy — is asserted on the baseline model swept
+across inference-time h_e (monotone non-decreasing).  Dedicated retrained
+models are also reported; at our dataset scale retraining recovers even
+the most aggressive elision (the per-input neighbor dropout acts as a
+regularizer), so the dedicated-model curve is flatter than the paper's —
+recorded as a scale deviation in EXPERIMENTS.md.
+"""
+
+import paperbench as pb
+from repro.analysis import format_table
+from repro.core import ApproxSetting
+
+ELISION_HEIGHTS = (2, 4, 6, 8)
+
+
+def test_fig19_accuracy_vs_elision(benchmark):
+    def run():
+        test = pb.cls_test_set()
+        baseline = pb.classification_trainer("PointNet++ (c)", pb.baseline_key())
+        no_retrain = {
+            he: baseline.evaluate(test, ApproxSetting(pb.HEADLINE_HT, he))
+            for he in ELISION_HEIGHTS
+        }
+        dedicated = {
+            he: pb.classification_trainer(
+                "PointNet++ (c)", ("fixed", pb.HEADLINE_HT, he)
+            ).evaluate(test, ApproxSetting(pb.HEADLINE_HT, he))
+            for he in ELISION_HEIGHTS
+        }
+        exact = baseline.evaluate(test, ApproxSetting(0, None))
+        return no_retrain, dedicated, exact
+
+    no_retrain, dedicated, exact = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [he, f"{no_retrain[he]:.3f}", f"{dedicated[he]:.3f}"]
+        for he in ELISION_HEIGHTS
+    ]
+    print()
+    print(format_table(
+        f"Fig. 19: accuracy vs elision height (ht=4; exact baseline {exact:.3f})",
+        ["h_e", "fixed weights (mechanical trend)", "dedicated retrained"],
+        rows,
+    ))
+    # Mechanical trend: fewer elided nodes can only help fixed weights.
+    fixed = [no_retrain[he] for he in ELISION_HEIGHTS]
+    assert all(a <= b + 0.02 for a, b in zip(fixed, fixed[1:]))
+    assert fixed[-1] >= fixed[0]
+    # Aggressive elision on fixed weights costs real accuracy vs exact.
+    assert fixed[0] < exact - 0.05
+    # Retraining recovers every dedicated setting to near the permissive end.
+    for he in ELISION_HEIGHTS:
+        assert dedicated[he] >= fixed[0], he

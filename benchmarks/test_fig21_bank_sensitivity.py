@@ -1,0 +1,40 @@
+"""Fig. 21 — train with one banking configuration, infer across others.
+
+Paper: a model trained assuming 4 banks holds its accuracy when inferring
+on ≥8 banks and loses only ~2% on a 2-banked SRAM.  Reproduction target:
+accuracy across 8–32 inference banks stays within a few points of the
+4-bank accuracy; the 2-bank end is the worst.
+"""
+
+import paperbench as pb
+from repro.analysis import format_series
+from repro.core import ApproxSetting, TreeBufferBanking
+
+BANKS = (2, 4, 8, 16, 32)
+
+
+def test_fig21_banking_transfer(benchmark):
+    def run():
+        trainer = pb.classification_trainer(
+            "PointNet++ (c)", pb.bce_key(), tree_banks=4
+        )
+        test = pb.cls_test_set()
+        pipeline = trainer.model.pipeline
+        accs = {}
+        setting = ApproxSetting(pb.HEADLINE_HT, pb.HEADLINE_HE)
+        for banks in BANKS:
+            pipeline.tree_banking = TreeBufferBanking(banks)
+            accs[banks] = trainer.evaluate(test, setting)
+        pipeline.tree_banking = TreeBufferBanking(4)
+        return accs
+
+    accs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series(
+        "Fig. 21: accuracy vs inference-time bank count (trained with 4)",
+        list(accs.keys()), list(accs.values()),
+    ))
+    trained_at = accs[4]
+    for banks in (8, 16, 32):
+        assert accs[banks] > trained_at - 0.10, banks
+    assert accs[2] <= max(accs.values())  # fewest banks is never the best

@@ -1,0 +1,44 @@
+"""Fig. 22 — speedup/energy sensitivity to #PEs × #banks.
+
+Paper (PointNet++(c)): speedup is largest on the least-capable baselines
+(2.1× at 2 PEs) and diminishes toward 1.1× at 32 PE / 32 banks; energy
+savings (~25–30%) are nearly flat across configurations.  Reproduction
+target: speedup at the smallest configuration exceeds the largest; every
+cell still saves energy.
+"""
+
+from repro.accel import evaluation_networks, evaluation_hardware, workload_points
+from repro.analysis import format_table, hw_sensitivity
+from repro.core import ApproxSetting
+
+PES = (2, 4, 8)
+BANKS = (2, 4, 8)
+
+
+def test_fig22_pe_bank_sensitivity(benchmark):
+    spec = evaluation_networks()["PointNet++ (c)"]
+    points = workload_points("PointNet++ (c)")
+
+    cells = benchmark.pedantic(
+        lambda: hw_sensitivity(
+            spec, points, ApproxSetting(4, 8), PES, BANKS,
+            base_hw=evaluation_hardware(),
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [c.num_pes, c.num_banks, f"{c.speedup:.2f}x", f"{c.norm_energy:.2f}"]
+        for c in cells
+    ]
+    print()
+    print(format_table(
+        "Fig. 22: Crescent speedup / normalized energy vs #PE x #banks",
+        ["#PE", "#banks", "speedup", "norm energy"], rows,
+    ))
+    by_key = {(c.num_pes, c.num_banks): c for c in cells}
+    smallest = by_key[(PES[0], BANKS[0])]
+    largest = by_key[(PES[-1], BANKS[-1])]
+    assert smallest.speedup >= largest.speedup * 0.9
+    for c in cells:
+        assert c.speedup > 1.0, (c.num_pes, c.num_banks)
+        assert c.norm_energy < 1.0, (c.num_pes, c.num_banks)

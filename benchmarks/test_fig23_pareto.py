@@ -1,0 +1,58 @@
+"""Fig. 23 — accuracy vs speedup vs energy across <h_t, h_e> combinations.
+
+Paper (PointNet++(c)): sweeping h_t and h_e spans ~5% accuracy, ~2.0×
+performance, and ~1.5× energy, with gentle settings (<2,12>-like) near
+baseline accuracy and aggressive ones (<10,14>-like) fastest.
+Reproduction target: the aggressive setting is the fastest, the gentle
+setting is the most accurate, and the sweep spans a real trade-off range.
+"""
+
+import paperbench as pb
+from repro.accel import evaluation_hardware, evaluation_networks, workload_points
+from repro.analysis import format_table, knob_performance_sweep
+from repro.core import ApproxSetting
+
+# Accuracy settings are at model-tree scale; performance settings at
+# workload-tree scale — both use the same relative knob positions.
+ACC_SETTINGS = [(1, 7), (2, 6), (4, 6), (5, 3)]
+PERF_SETTINGS = [ApproxSetting(1, 10), ApproxSetting(2, 9),
+                 ApproxSetting(4, 8), ApproxSetting(6, 5)]
+
+
+def test_fig23_pareto_tradeoff(benchmark):
+    def run():
+        test = pb.cls_test_set()
+        mixed = pb.classification_trainer(
+            "PointNet++ (c)",
+            ("mixed", (1, 2, 3, 4, 5), (3, 5, 6, 7)),
+        )
+        accs = {
+            (ht, he): mixed.evaluate(test, ApproxSetting(ht, he))
+            for ht, he in ACC_SETTINGS
+        }
+        spec = evaluation_networks()["PointNet++ (c)"]
+        pts = workload_points("PointNet++ (c)")
+        perf = knob_performance_sweep(
+            spec, pts, PERF_SETTINGS, hw=evaluation_hardware()
+        )
+        return accs, perf
+
+    accs, perf = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for (acc_s, perf_s) in zip(ACC_SETTINGS, PERF_SETTINGS):
+        speedup, energy = perf[(perf_s.top_height, perf_s.elision_height)]
+        rows.append([
+            f"<{acc_s[0]},{acc_s[1]}>", f"{accs[acc_s]:.3f}",
+            f"{speedup:.2f}x", f"{energy:.2f}",
+        ])
+    print()
+    print(format_table(
+        "Fig. 23: accuracy / speedup / energy across <h_t, h_e>",
+        ["setting", "accuracy", "speedup", "norm energy"], rows,
+    ))
+    speedups = [perf[(s.top_height, s.elision_height)][0] for s in PERF_SETTINGS]
+    assert speedups[-1] >= speedups[0]  # aggressive end is fastest
+    assert max(accs.values()) == accs[ACC_SETTINGS[0]] or (
+        accs[ACC_SETTINGS[0]] >= accs[ACC_SETTINGS[-1]] - 0.02
+    )  # gentle end is (near-)most accurate
+    assert max(speedups) / min(speedups) > 1.05  # a real trade-off space

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships setuptools without the ``wheel`` package,
+so PEP-660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  This shim lets ``python setup.py develop`` (and plain
+``pip install .``) work offline.
+"""
+
+from setuptools import setup
+
+setup()

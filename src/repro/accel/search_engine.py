@@ -1,0 +1,174 @@
+"""The Crescent neighbor search engine (paper Sec. 3.2, Fig. 7).
+
+Combines the functional approximate search of
+:mod:`repro.core.approx_search` with cycle and energy accounting:
+
+* **Phase 1 (top tree)** — queries stream through the PEs in groups of
+  ``num_pes``, descending level-synchronously.  Fetches of the *same* node
+  by several PEs are broadcast (one bank read serves all ports); fetches of
+  different nodes in the same bank stall, since elision is not applied in
+  the top-tree phase (a dropped fetch would leave the query unrouted).
+* **Phase 2 (sub-trees)** — the lockstep simulation from the core package
+  provides per-sub-tree visit cycles and stalls; the five-stage-PE timing
+  contract (verified in :mod:`repro.accel.pe`) converts them to cycles.
+* **DRAM** — every transfer is a streaming DMA by construction of the
+  split-tree layout: queries in, top tree in, staged queries out/in, each
+  needed sub-tree in exactly once, neighbor indices out.  Double-buffering
+  overlaps DMA with compute, so phase time is ``max(compute, dma)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.approx_search import SearchReport, approximate_ball_query
+from ..core.bank_conflict import TreeBufferBanking
+from ..core.config import ApproxSetting, CrescentHardwareConfig
+from ..core.split_tree import SplitTree
+from ..kdtree.build import NODE_BYTES, KdTree
+from ..memsim.dram import DramModel, DramUsage
+from ..memsim.energy import EnergyBreakdown
+from .pe import PIPELINE_DEPTH, FiveStagePipeline
+
+__all__ = ["SearchEngineResult", "NeighborSearchEngine", "QUERY_BYTES", "INDEX_BYTES"]
+
+QUERY_BYTES = 16  # x, y, z (float32) + query id
+INDEX_BYTES = 4  # one neighbor index
+
+
+@dataclass
+class SearchEngineResult:
+    """Timing, memory, and energy outcome of one search batch."""
+
+    cycles: int
+    compute_cycles: int
+    dram_cycles: int
+    report: SearchReport = field(default_factory=SearchReport)
+    dram: DramUsage = field(default_factory=DramUsage)
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    top_phase_cycles: int = 0
+    sub_phase_cycles: int = 0
+
+
+class NeighborSearchEngine:
+    """Batch-level model of the Crescent search engine."""
+
+    def __init__(self, hw: CrescentHardwareConfig = CrescentHardwareConfig()):
+        self.hw = hw
+        self.banking = TreeBufferBanking(num_banks=hw.tree_buffer.num_banks)
+
+    # ------------------------------------------------------------------
+    def _top_phase(
+        self, tree: KdTree, queries: np.ndarray, top_height: int
+    ) -> Tuple[int, int]:
+        """Cycles and stalls of the level-synchronous top-tree descent."""
+        if top_height == 0:
+            return 0, 0
+        num_pes = self.hw.num_pes
+        m = len(queries)
+        total_cycles = 0
+        total_stalls = 0
+        for start in range(0, m, num_pes):
+            group = queries[start : start + num_pes]
+            current = np.full(len(group), tree.root, dtype=np.int64)
+            for _ in range(top_height):
+                # Same node ⇒ broadcast; same bank, different node ⇒ stall.
+                uniq_nodes = np.unique(current)
+                banks = self.banking.bank_of_slot(uniq_nodes)
+                occupancy = np.bincount(banks, minlength=self.banking.num_banks)
+                level_cycles = int(occupancy.max()) if len(uniq_nodes) else 1
+                total_cycles += level_cycles
+                total_stalls += level_cycles - 1
+                rows = np.arange(len(group))
+                pts = tree.points[tree.point_id[current]]
+                dims = tree.split_dim[current]
+                go_left = group[rows, dims] <= pts[rows, dims]
+                nxt = np.where(go_left, tree.left[current], tree.right[current])
+                missing = nxt < 0
+                if missing.any():
+                    alt = np.where(go_left, tree.right[current], tree.left[current])
+                    nxt = np.where(missing, alt, nxt)
+                    nxt = np.where(nxt < 0, current, nxt)
+                current = nxt.astype(np.int64)
+            total_cycles += PIPELINE_DEPTH - 1  # fill/drain per group
+        return total_cycles, total_stalls
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tree: KdTree,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+        setting: ApproxSetting,
+    ) -> Tuple[np.ndarray, np.ndarray, SearchEngineResult]:
+        """Search ``queries`` and account cycles/energy for the whole batch."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        setting = setting.scaled_to(tree.height)
+        hw = self.hw
+        indices, counts, report = approximate_ball_query(
+            tree,
+            queries,
+            radius,
+            max_neighbors,
+            setting,
+            banking=self.banking,
+            num_pes=hw.num_pes,
+            simulate_conflicts=True,
+        )
+        m = len(queries)
+
+        # ---------------- compute cycles ----------------
+        top_cycles, top_stalls = self._top_phase(tree, queries, setting.top_height)
+        # Lockstep cycles count one visit slot per PE-cycle including
+        # arbitration; add the pipeline fill per sub-tree batch.
+        sub_cycles = report.lockstep_cycles + report.subtrees_loaded * (
+            PIPELINE_DEPTH - 1
+        )
+        compute_cycles = top_cycles + sub_cycles
+
+        # ---------------- DRAM (all streaming) ----------------
+        dram = DramModel(hw.dram)
+        split = SplitTree(tree, setting.top_height)
+        dram.stream(m * QUERY_BYTES)  # queries in (phase 1)
+        dram.stream(split.top_tree_bytes())  # top tree in
+        if setting.top_height > 0:
+            dram.stream(m * QUERY_BYTES)  # staged queries out
+            dram.stream(m * QUERY_BYTES)  # staged queries back in (phase 2)
+        for root, occupancy in report.queue_occupancy.items():
+            if occupancy > 0:
+                dram.stream(split.subtree_bytes(int(root)))
+        dram.stream(m * max_neighbors * INDEX_BYTES)  # index matrix out
+
+        dram_cycles = dram.usage.cycles
+        cycles = max(compute_cycles, dram_cycles)  # double-buffered overlap
+
+        # ---------------- energy ----------------
+        energy = EnergyBreakdown()
+        em = hw.energy
+        energy.add("dram_streaming", em.dram_streaming(dram.usage.streaming_bytes))
+        energy.add("dram_random", em.dram_random(dram.usage.random_bytes))
+        tree_reads = report.tree_sram.reads_served + report.top_tree_visits
+        energy.add("sram_search", em.sram(tree_reads * NODE_BYTES))
+        energy.add("sram_search", em.sram(m * QUERY_BYTES))  # query buffer reads
+        visits = report.traversal.nodes_visited
+        energy.add("search_datapath", em.distances(visits))
+        energy.add(
+            "search_datapath",
+            em.stack_ops(report.traversal.stack_pushes + report.traversal.stack_pops),
+        )
+
+        result = SearchEngineResult(
+            cycles=cycles,
+            compute_cycles=compute_cycles,
+            dram_cycles=dram_cycles,
+            report=report,
+            dram=dram.usage,
+            energy=energy,
+            top_phase_cycles=top_cycles,
+            sub_phase_cycles=sub_cycles,
+        )
+        return indices, counts, result

@@ -1,0 +1,97 @@
+"""Systolic-array timing/energy model for the MLP stage.
+
+The paper uses a 16×16 TPU-style MAC array for feature computation; its
+behaviour on dense MLPs is regular and well understood, so a first-order
+analytical model is adequate (and is exactly what the paper's simulator
+parameterizes): a weight-stationary array processes an ``(M × Cin) @ (Cin
+× Cout)`` matmul in output tiles of ``rows × cols``, paying a pipeline
+fill/drain latency per tile and one MAC per cell per cycle at full
+utilization.
+
+SRAM traffic (global buffer) and streaming DRAM traffic for weights are
+accounted so the end-to-end energy breakdown (paper Fig. 16) has the MLP
+contributions in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memsim.energy import EnergyBreakdown, EnergyModel
+
+__all__ = ["SystolicArray", "MatmulCost"]
+
+BYTES_PER_VALUE = 2  # fp16/int16 datapath, as in mobile accelerators
+
+
+@dataclass
+class MatmulCost:
+    cycles: int
+    macs: int
+    sram_bytes: int
+    weight_dram_bytes: int
+
+    def merge(self, other: "MatmulCost") -> "MatmulCost":
+        self.cycles += other.cycles
+        self.macs += other.macs
+        self.sram_bytes += other.sram_bytes
+        self.weight_dram_bytes += other.weight_dram_bytes
+        return self
+
+
+class SystolicArray:
+    """Weight-stationary ``rows × cols`` MAC array."""
+
+    def __init__(self, rows: int = 16, cols: int = 16):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    def matmul(self, m: int, c_in: int, c_out: int) -> MatmulCost:
+        """Cost of an ``(m, c_in) @ (c_in, c_out)`` matmul.
+
+        Tiles: ``ceil(c_in / rows) * ceil(c_out / cols)`` weight tiles; each
+        tile streams all ``m`` activations through the array with a
+        ``rows + cols`` fill/drain bubble.
+        """
+        if m < 0 or c_in <= 0 or c_out <= 0:
+            raise ValueError("matmul dimensions must be positive (m may be 0)")
+        if m == 0:
+            return MatmulCost(0, 0, 0, 0)
+        tiles_in = -(-c_in // self.rows)
+        tiles_out = -(-c_out // self.cols)
+        tiles = tiles_in * tiles_out
+        fill = self.rows + self.cols
+        cycles = tiles * (m + fill)
+        macs = m * c_in * c_out
+        # Activations are read per input tile and written per output tile.
+        act_reads = m * c_in * tiles_out * BYTES_PER_VALUE
+        act_writes = m * c_out * BYTES_PER_VALUE
+        weight_bytes = c_in * c_out * BYTES_PER_VALUE
+        return MatmulCost(
+            cycles=cycles,
+            macs=macs,
+            sram_bytes=act_reads + act_writes + weight_bytes,
+            weight_dram_bytes=weight_bytes,
+        )
+
+    def shared_mlp(self, num_points: int, channels: "list[int]") -> MatmulCost:
+        """Cost of a per-point MLP (1×1 conv) chain over ``num_points`` rows.
+
+        ``channels`` is ``[c0, c1, ..., ck]``; the chain runs k matmuls.
+        """
+        if len(channels) < 2:
+            raise ValueError("channels must list at least input and output width")
+        total = MatmulCost(0, 0, 0, 0)
+        for c_in, c_out in zip(channels, channels[1:]):
+            total.merge(self.matmul(num_points, c_in, c_out))
+        return total
+
+    def energy(self, cost: MatmulCost, model: EnergyModel) -> EnergyBreakdown:
+        """Energy of a matmul cost under the shared energy model."""
+        out = EnergyBreakdown()
+        out.add("mlp_macs", model.macs(cost.macs))
+        out.add("mlp_sram", model.sram(cost.sram_bytes))
+        out.add("dram_streaming", model.dram_streaming(cost.weight_dram_bytes))
+        return out

@@ -1,0 +1,42 @@
+"""Experiment drivers behind every paper figure, plus table formatting."""
+
+from .reporting import format_series, format_table
+from .characterization import (
+    aggregation_conflict_by_network,
+    dram_traffic_study,
+    layer_search_traces,
+    nonstreaming_fraction,
+    search_conflict_rate_vs_banks,
+)
+from .tradeoff import (
+    hw_sensitivity,
+    knob_performance_sweep,
+    nodes_skipped_vs_elision_height,
+    nodes_visited_vs_top_height,
+)
+from .comparison import (
+    HEADLINE_SETTING_ANS,
+    HEADLINE_SETTING_BCE,
+    SuiteResult,
+    energy_saving_contributions,
+    run_evaluation_suite,
+)
+
+__all__ = [
+    "format_series",
+    "format_table",
+    "aggregation_conflict_by_network",
+    "dram_traffic_study",
+    "layer_search_traces",
+    "nonstreaming_fraction",
+    "search_conflict_rate_vs_banks",
+    "hw_sensitivity",
+    "knob_performance_sweep",
+    "nodes_skipped_vs_elision_height",
+    "nodes_visited_vs_top_height",
+    "HEADLINE_SETTING_ANS",
+    "HEADLINE_SETTING_BCE",
+    "SuiteResult",
+    "energy_saving_contributions",
+    "run_evaluation_suite",
+]

@@ -1,0 +1,214 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's figures from the terminal without pytest::
+
+    python -m repro.analysis.cli                 # hardware-side figures
+    python -m repro.analysis.cli --figures 2 14  # a subset
+    python -m repro.analysis.cli --list          # what's available
+
+Training-backed figures (13, 18–21, 23) live in ``benchmarks/`` because
+they reuse the memoized trained models there; this CLI covers everything
+that runs in seconds: the motivation studies (Figs. 2–5), the design-space
+sweeps (Figs. 8, 9, 22), the evaluation suite (Figs. 14–17), and the
+prior-accelerator comparison (Fig. 24).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..accel.workloads import evaluation_hardware, evaluation_networks, workload_points
+from ..core.config import ApproxSetting
+from .characterization import (
+    aggregation_conflict_by_network,
+    dram_traffic_study,
+    nonstreaming_fraction,
+    search_conflict_rate_vs_banks,
+)
+from .comparison import energy_saving_contributions, run_evaluation_suite
+from .reporting import format_series, format_table
+from .tradeoff import (
+    hw_sensitivity,
+    nodes_skipped_vs_elision_height,
+    nodes_visited_vs_top_height,
+)
+
+__all__ = ["main"]
+
+
+def fig2() -> str:
+    measured = {n: nonstreaming_fraction(n) for n in evaluation_networks()}
+    return format_table(
+        "Fig. 2: non-continuous DRAM accesses in neighbor search (%)",
+        ["network", "measured"],
+        [[n, f"{v * 100:.2f}"] for n, v in measured.items()],
+    )
+
+
+def fig3() -> str:
+    rows = []
+    for name in evaluation_networks():
+        r = dram_traffic_study(name)
+        rows.append([name, f"{r.traffic_ratio:.1f}x", f"{r.miss_rate * 100:.1f}"])
+    return format_table(
+        "Fig. 3: DRAM traffic ratio / cache miss rate (%)",
+        ["network", "traffic", "miss rate"], rows,
+    )
+
+
+def fig4() -> str:
+    rates = search_conflict_rate_vs_banks((2, 4, 8, 16, 32))
+    return format_series(
+        "Fig. 4: search bank conflict rate vs #banks",
+        list(rates.keys()), [f"{v * 100:.1f}%" for v in rates.values()],
+    )
+
+
+def fig5() -> str:
+    measured = aggregation_conflict_by_network()
+    return format_table(
+        "Fig. 5: aggregation bank conflict rate (%)",
+        ["network", "measured"],
+        [[n, f"{v * 100:.1f}"] for n, v in measured.items()],
+    )
+
+
+def _pnpp_queries():
+    points = workload_points("PointNet++ (c)")
+    rng = np.random.default_rng(1)
+    return points, points[rng.choice(len(points), 256, replace=False)]
+
+
+def fig8() -> str:
+    points, queries = _pnpp_queries()
+    result = nodes_visited_vs_top_height(points, queries, 0.1, 16, (0, 2, 4, 6, 8))
+    return format_series(
+        "Fig. 8: normalized nodes visited vs top-tree height",
+        list(result.keys()), list(result.values()),
+    )
+
+
+def fig9() -> str:
+    points, queries = _pnpp_queries()
+    result = nodes_skipped_vs_elision_height(
+        points, queries, 0.1, 16, top_height=2, elision_heights=(3, 5, 7, 9, 11)
+    )
+    return format_series(
+        "Fig. 9: normalized nodes skipped vs elision height",
+        list(result.keys()), list(result.values()),
+    )
+
+
+def fig14() -> str:
+    suite = run_evaluation_suite()
+    rows = [
+        [n, f"{r.speedup_ans:.2f}x", f"{r.speedup_bce:.2f}x",
+         f"{r.norm_energy_ans:.2f}", f"{r.norm_energy_bce:.2f}"]
+        for n, r in suite.items()
+    ]
+    geomean = statistics.geometric_mean(r.speedup_bce for r in suite.values())
+    table = format_table(
+        "Fig. 14: speedup / normalized energy vs Mesorasi",
+        ["network", "ANS", "ANS+BCE", "E(ANS)", "E(ANS+BCE)"], rows,
+    )
+    return table + f"\ngeomean ANS+BCE speedup: {geomean:.2f}x"
+
+
+def fig15() -> str:
+    suite = run_evaluation_suite()
+    rows = []
+    for n, r in suite.items():
+        rows.append([
+            n,
+            f"{r.mesorasi.search_cycles / max(r.ans_bce.search_cycles, 1):.2f}x",
+            f"{r.mesorasi.aggregation_cycles / max(r.ans_bce.aggregation_cycles, 1):.2f}x",
+        ])
+    return format_table(
+        "Fig. 15: stage speedups (ANS+BCE)",
+        ["network", "neighbor search", "aggregation"], rows,
+    )
+
+
+def fig16() -> str:
+    suite = run_evaluation_suite()
+    keys = ("dram_traffic", "dram_streaming", "sram_search", "sram_aggregation")
+    rows = [
+        [n] + [f"{energy_saving_contributions(r)[k] * 100:.1f}" for k in keys]
+        for n, r in suite.items()
+    ]
+    return format_table(
+        "Fig. 16: memory energy saving contributions (%)",
+        ["network", *keys], rows,
+    )
+
+
+def fig17() -> str:
+    suite = run_evaluation_suite()
+    rows = []
+    for n, r in suite.items():
+        ans_v = sum(l.search.report.traversal.nodes_visited for l in r.ans.layers)
+        bce_v = sum(l.search.report.traversal.nodes_visited for l in r.ans_bce.layers)
+        rows.append([n, f"{(1 - bce_v / max(ans_v, 1)) * 100:.1f}"])
+    return format_table(
+        "Fig. 17: node-access reduction of BCE over ANS (%)",
+        ["network", "reduction"], rows,
+    )
+
+
+def fig22() -> str:
+    spec = evaluation_networks()["PointNet++ (c)"]
+    points = workload_points("PointNet++ (c)")
+    cells = hw_sensitivity(
+        spec, points, ApproxSetting(4, 8), (2, 4, 8), (2, 4, 8),
+        base_hw=evaluation_hardware(),
+    )
+    rows = [
+        [c.num_pes, c.num_banks, f"{c.speedup:.2f}x", f"{c.norm_energy:.2f}"]
+        for c in cells
+    ]
+    return format_table(
+        "Fig. 22: sensitivity to #PE x #banks",
+        ["#PE", "#banks", "speedup", "norm energy"], rows,
+    )
+
+
+FIGURES: Dict[str, Callable[[], str]] = {
+    "2": fig2, "3": fig3, "4": fig4, "5": fig5,
+    "8": fig8, "9": fig9,
+    "14": fig14, "15": fig15, "16": fig16, "17": fig17,
+    "22": fig22,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.cli",
+        description="Regenerate Crescent paper figures from the terminal.",
+    )
+    parser.add_argument(
+        "--figures", nargs="*", default=sorted(FIGURES, key=int),
+        help="figure numbers to run (default: all hardware-side figures)",
+    )
+    parser.add_argument("--list", action="store_true", help="list figures and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        print("available figures:", ", ".join(sorted(FIGURES, key=int)))
+        print("training-backed figures (13, 18-21, 23) run via: "
+              "pytest benchmarks/ --benchmark-only")
+        return 0
+    for fig in args.figures:
+        if fig not in FIGURES:
+            print(f"unknown figure {fig!r}; use --list", file=sys.stderr)
+            return 2
+        print(FIGURES[fig]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

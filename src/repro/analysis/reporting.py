@@ -1,0 +1,40 @@
+"""Plain-text table formatting for benchmark output.
+
+Every benchmark prints the rows/series of the paper figure it reproduces;
+this module keeps that output uniform and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned text table with a title rule."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render an x→y series (one figure line) as a two-column table."""
+    return format_table(title, ["x", "y"], list(zip(xs, ys)))

@@ -1,0 +1,155 @@
+"""Design-space and trade-off drivers (Figs. 8, 9, 22, 23).
+
+These sweep Crescent's two knobs (``h_t``, ``h_e``) and the hardware
+configuration (#PEs × #banks), reporting the series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..accel.accelerator import NetworkSpec, PointCloudAccelerator
+from ..accel.baselines import make_mesorasi
+from ..accel.search_engine import NeighborSearchEngine
+from ..core.approx_search import approximate_ball_query
+from ..core.config import ApproxSetting, CrescentHardwareConfig
+from ..kdtree.build import build_kdtree
+from ..memsim.sram import BankedSramConfig
+
+__all__ = [
+    "nodes_visited_vs_top_height",
+    "nodes_skipped_vs_elision_height",
+    "hw_sensitivity",
+    "knob_performance_sweep",
+]
+
+
+def nodes_visited_vs_top_height(
+    points: np.ndarray,
+    queries: np.ndarray,
+    radius: float,
+    max_neighbors: int,
+    heights: Sequence[int],
+) -> Dict[int, float]:
+    """Fig. 8: normalized nodes visited per query vs ``h_t``.
+
+    Normalized to the exact search (``h_t = 0``); monotonically
+    non-increasing because a taller top tree shrinks the backtracking
+    scope.
+    """
+    tree = build_kdtree(points)
+    results: Dict[int, float] = {}
+    base: Optional[float] = None
+    for ht in heights:
+        _, _, report = approximate_ball_query(
+            tree, queries, radius, max_neighbors, ApproxSetting(ht, None),
+            simulate_conflicts=False,
+        )
+        per_query = report.traversal.nodes_visited / max(report.traversal.queries, 1)
+        if base is None:
+            base = per_query
+        results[int(ht)] = per_query / base
+    return results
+
+
+def nodes_skipped_vs_elision_height(
+    points: np.ndarray,
+    queries: np.ndarray,
+    radius: float,
+    max_neighbors: int,
+    top_height: int,
+    elision_heights: Sequence[int],
+    num_pes: int = 8,
+) -> Dict[int, float]:
+    """Fig. 9: normalized nodes skipped per query vs ``h_e``.
+
+    Normalized to the most aggressive elision height swept; decreases as
+    ``h_e`` grows (fewer levels are elidable).
+    """
+    tree = build_kdtree(points)
+    skipped: Dict[int, float] = {}
+    for he in elision_heights:
+        _, _, report = approximate_ball_query(
+            tree, queries, radius, max_neighbors,
+            ApproxSetting(top_height, he), num_pes=num_pes,
+        )
+        skipped[int(he)] = report.traversal.nodes_skipped / max(
+            report.traversal.queries, 1
+        )
+    peak = max(skipped.values()) or 1.0
+    return {he: v / peak for he, v in skipped.items()}
+
+
+@dataclass
+class SensitivityCell:
+    num_pes: int
+    num_banks: int
+    speedup: float
+    norm_energy: float
+
+
+def hw_sensitivity(
+    spec: NetworkSpec,
+    points: np.ndarray,
+    setting: ApproxSetting,
+    pes_list: Sequence[int],
+    banks_list: Sequence[int],
+    base_hw: CrescentHardwareConfig = CrescentHardwareConfig(),
+) -> List[SensitivityCell]:
+    """Fig. 22: speedup and normalized energy over #PE × #banks.
+
+    Each cell compares Crescent (ANS+BCE) against the Mesorasi baseline
+    *on the same hardware configuration*, as the paper does.
+    """
+    cells: List[SensitivityCell] = []
+    for banks in banks_list:
+        for pes in pes_list:
+            hw = base_hw.with_overrides(
+                num_pes=pes,
+                tree_buffer=BankedSramConfig(
+                    size_bytes=base_hw.tree_buffer.size_bytes, num_banks=banks
+                ),
+            )
+            baseline = make_mesorasi(hw).run_network(
+                spec, points, ApproxSetting(0, None)
+            )
+            crescent = PointCloudAccelerator(
+                hw, NeighborSearchEngine(hw), elide_aggregation=True
+            ).run_network(spec, points, setting)
+            cells.append(
+                SensitivityCell(
+                    num_pes=pes,
+                    num_banks=banks,
+                    speedup=baseline.cycles / crescent.cycles,
+                    norm_energy=crescent.energy.total / baseline.energy.total,
+                )
+            )
+    return cells
+
+
+def knob_performance_sweep(
+    spec: NetworkSpec,
+    points: np.ndarray,
+    settings: Sequence[ApproxSetting],
+    hw: CrescentHardwareConfig = CrescentHardwareConfig(),
+) -> Dict[Tuple[int, Optional[int]], Tuple[float, float]]:
+    """Fig. 23 support: speedup and normalized energy per ``<h_t, h_e>``.
+
+    Returns ``{(ht, he): (speedup, norm_energy)}`` against the Mesorasi
+    baseline; the accuracy axis comes from the trained models.
+    """
+    baseline = make_mesorasi(hw).run_network(spec, points, ApproxSetting(0, None))
+    out: Dict[Tuple[int, Optional[int]], Tuple[float, float]] = {}
+    for setting in settings:
+        acc = PointCloudAccelerator(
+            hw, NeighborSearchEngine(hw), elide_aggregation=setting.uses_elision
+        )
+        run = acc.run_network(spec, points, setting)
+        out[(setting.top_height, setting.elision_height)] = (
+            baseline.cycles / run.cycles,
+            run.energy.total / baseline.energy.total,
+        )
+    return out

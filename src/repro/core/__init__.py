@@ -1,0 +1,27 @@
+"""Crescent core: split-tree approximate search, bank-conflict elision, configs."""
+
+from .config import ApproxSetting, CrescentHardwareConfig, valid_top_heights
+from .split_tree import SplitTree
+from .bank_conflict import (
+    PointBufferBanking,
+    TreeBufferBanking,
+    aggregation_conflict_rate,
+    apply_aggregation_elision,
+)
+from .approx_search import SearchReport, approximate_ball_query, run_subtree_lockstep
+from .pipeline import ApproximationPipeline
+
+__all__ = [
+    "ApproxSetting",
+    "CrescentHardwareConfig",
+    "valid_top_heights",
+    "SplitTree",
+    "PointBufferBanking",
+    "TreeBufferBanking",
+    "aggregation_conflict_rate",
+    "apply_aggregation_elision",
+    "ApproximationPipeline",
+    "SearchReport",
+    "approximate_ball_query",
+    "run_subtree_lockstep",
+]

@@ -1,0 +1,146 @@
+"""Configuration objects for the Crescent system.
+
+Two kinds of configuration exist and are deliberately separated:
+
+* :class:`ApproxSetting` — the *algorithmic* approximation knobs
+  ``h = <h_t, h_e>`` (top-tree height and elision height) that trade
+  accuracy for performance.  These are inputs to both inference and the
+  approximation-aware training procedure.
+* :class:`CrescentHardwareConfig` — the *microarchitecture*: buffer sizes,
+  bank counts, PE count, systolic array shape.  Defaults follow Sec. 6 of
+  the paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..kdtree.build import NODE_BYTES
+from ..memsim.dram import DramConfig
+from ..memsim.energy import EnergyModel
+from ..memsim.sram import BankedSramConfig
+
+__all__ = ["ApproxSetting", "CrescentHardwareConfig", "valid_top_heights"]
+
+
+@dataclass(frozen=True)
+class ApproxSetting:
+    """The approximation knob vector ``h = <h_t, h_e>``.
+
+    Attributes
+    ----------
+    top_height:
+        ``h_t`` — levels carved off the K-d tree into the top tree.  0
+        disables the split (exact search, the paper's baseline).  Larger
+        values speed up the search (smaller sub-trees to backtrack in) but
+        lose neighbors that live across sub-tree boundaries.
+    elision_height:
+        ``h_e`` — the global tree depth at/below which a bank-conflicted
+        tree-buffer fetch is elided rather than retried.  ``None`` disables
+        elision (the ANS-only variant).  Smaller values elide more
+        aggressively: faster, less accurate.
+    """
+
+    top_height: int = 0
+    elision_height: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.top_height < 0:
+            raise ValueError("top_height must be non-negative")
+        if self.elision_height is not None and self.elision_height < 0:
+            raise ValueError("elision_height must be non-negative or None")
+
+    @property
+    def uses_split_tree(self) -> bool:
+        return self.top_height > 0
+
+    @property
+    def uses_elision(self) -> bool:
+        return self.elision_height is not None
+
+    def scaled_to(self, tree_height: int) -> "ApproxSetting":
+        """Clamp the knobs to a concrete tree height.
+
+        The paper quotes knob values against KITTI-scale trees (height
+        ~14–21); our synthetic workloads build shorter trees, so experiment
+        drivers scale/clamp settings before use.
+        """
+        ht = min(self.top_height, max(tree_height - 1, 0))
+        he = self.elision_height
+        if he is not None:
+            he = min(he, tree_height)
+        return ApproxSetting(ht, he)
+
+
+def valid_top_heights(tree_height: int, tree_buffer_nodes: int) -> Tuple[int, int]:
+    """Permissible ``h_t`` range for a given tree and tree-buffer capacity.
+
+    Implements the paper's Eq. (1)–(2): both the top tree (``2^h_t - 1``
+    nodes) and any sub-tree (``2^(H - h_t + 1) - 1`` nodes) must fit in the
+    tree buffer of ``S`` nodes:
+
+    ``h_t <= log2(S + 1)``  and  ``h_t >= H + 1 - log2(S + 1)``.
+
+    Returns ``(lo, hi)`` inclusive.  ``lo`` may exceed ``hi`` when the
+    buffer is too small for the tree at any split point; callers should
+    treat that as "tree must be split recursively" (out of scope, as in
+    the paper).
+    """
+    if tree_height <= 0:
+        raise ValueError("tree_height must be positive")
+    if tree_buffer_nodes <= 0:
+        raise ValueError("tree_buffer_nodes must be positive")
+    import math
+
+    cap = math.floor(math.log2(tree_buffer_nodes + 1))
+    lo = max(0, tree_height + 1 - cap)
+    hi = min(cap, tree_height)
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class CrescentHardwareConfig:
+    """The accelerator organization of the paper's Sec. 6.
+
+    Sizes: global buffer 1.5 MB; point buffer 64 KB / 16 banks; neighbor
+    index buffer 12 KB / 1 bank; tree buffer 6 KB / 4 banks; query buffer
+    3 KB / 1 bank; 4 search PEs with 1.5 KB result and 256 B stack buffers;
+    16×16 systolic MAC array.
+    """
+
+    num_pes: int = 4
+    systolic_rows: int = 16
+    systolic_cols: int = 16
+    global_buffer_bytes: int = 1536 * 1024
+    point_buffer: BankedSramConfig = field(
+        default_factory=lambda: BankedSramConfig(size_bytes=64 * 1024, num_banks=16)
+    )
+    tree_buffer: BankedSramConfig = field(
+        default_factory=lambda: BankedSramConfig(size_bytes=6 * 1024, num_banks=4)
+    )
+    query_buffer: BankedSramConfig = field(
+        default_factory=lambda: BankedSramConfig(size_bytes=3 * 1024, num_banks=1)
+    )
+    neighbor_index_buffer_bytes: int = 12 * 1024
+    result_buffer_bytes: int = 1536
+    stack_buffer_bytes: int = 256
+    dram: DramConfig = field(default_factory=DramConfig)
+    energy: EnergyModel = field(default_factory=EnergyModel)
+
+    def __post_init__(self) -> None:
+        if self.num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        if self.systolic_rows <= 0 or self.systolic_cols <= 0:
+            raise ValueError("systolic array dimensions must be positive")
+
+    @property
+    def tree_buffer_nodes(self) -> int:
+        """How many tree nodes the tree buffer can hold."""
+        return self.tree_buffer.size_bytes // NODE_BYTES
+
+    def with_overrides(self, **kwargs: object) -> "CrescentHardwareConfig":
+        """Functional update (frozen dataclass convenience)."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)

@@ -1,0 +1,131 @@
+"""The end-to-end approximation pipeline used inside network layers.
+
+:class:`ApproximationPipeline` bundles everything between raw points and
+the neighbor index matrix a network layer consumes:
+
+1. K-d tree construction over the layer's points,
+2. neighbor search — exact, or Crescent's approximate search under a
+   setting ``h = <h_t, h_e>`` with tree-buffer conflict simulation,
+3. optional point-buffer conflict elision during aggregation (the
+   replicating rewrite of the index matrix).
+
+It is the object the approximation-aware training procedure (Sec. 5)
+threads through the forward pass: sampling a new ``h`` per input is just
+calling :meth:`query` with a different setting.  Since the index matrix
+depends only on geometry (never on network weights), results are memoized
+per ``(cache_key, setting)`` — the same economy the authors' artifact uses
+to keep training affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..kdtree.build import build_kdtree
+from ..kdtree.exact import ball_query
+from .approx_search import approximate_ball_query
+from .bank_conflict import (
+    PointBufferBanking,
+    TreeBufferBanking,
+    apply_aggregation_elision,
+)
+from .config import ApproxSetting
+
+__all__ = ["ApproximationPipeline"]
+
+
+class ApproximationPipeline:
+    """Produces (effective) neighbor index matrices under approximation.
+
+    Parameters
+    ----------
+    tree_banking / point_banking:
+        Banking configurations simulated for search and aggregation
+        conflicts.  Training with one banking and inferring with another is
+        how the Fig. 21 sensitivity study is run.
+    num_pes:
+        Concurrent search PEs in the conflict simulation.
+    agg_ports:
+        Concurrent aggregation requests per cycle (paper: 16).
+    elide_aggregation:
+        Apply the point-buffer replication rewrite (BCE in aggregation).
+    """
+
+    def __init__(
+        self,
+        tree_banking: TreeBufferBanking = TreeBufferBanking(),
+        point_banking: PointBufferBanking = PointBufferBanking(),
+        num_pes: int = 4,
+        agg_ports: int = 16,
+        elide_aggregation: bool = False,
+    ):
+        self.tree_banking = tree_banking
+        self.point_banking = point_banking
+        self.num_pes = num_pes
+        self.agg_ports = agg_ports
+        self.elide_aggregation = elide_aggregation
+        self._cache: Dict[Hashable, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        points: np.ndarray,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+        setting: ApproxSetting,
+        cache_key: Optional[Hashable] = None,
+    ) -> np.ndarray:
+        """Return the effective ``(M, K)`` neighbor index matrix.
+
+        ``cache_key`` should uniquely identify the *geometry* (e.g.
+        ``(sample_id, layer_name)``); the setting and banking parameters
+        are folded into the memoization key automatically.  Pass ``None``
+        to disable caching (e.g. with augmentation transforms that change
+        geometry every epoch).
+        """
+        key: Optional[Hashable] = None
+        if cache_key is not None:
+            key = (
+                cache_key,
+                setting.top_height,
+                setting.elision_height,
+                self.tree_banking.num_banks,
+                self.point_banking.num_banks,
+                self.num_pes,
+                self.agg_ports,
+                self.elide_aggregation,
+                radius,
+                max_neighbors,
+            )
+            hit = self._cache.get(key)
+            if hit is not None:
+                return hit[0]
+
+        points = np.asarray(points, dtype=np.float64)
+        tree = build_kdtree(points)
+        if setting.uses_split_tree or setting.uses_elision:
+            indices, counts, _ = approximate_ball_query(
+                tree,
+                queries,
+                radius,
+                max_neighbors,
+                setting,
+                banking=self.tree_banking,
+                num_pes=self.num_pes,
+            )
+        else:
+            indices, counts = ball_query(tree, queries, radius, max_neighbors)
+        if self.elide_aggregation:
+            indices = apply_aggregation_elision(
+                indices, self.point_banking, self.agg_ports
+            )
+        if key is not None:
+            self._cache[key] = (indices, counts)
+        return indices

@@ -1,0 +1,155 @@
+"""ShapeNet-like part segmentation data.
+
+PointNet++ (s) is evaluated on ShapeNet part segmentation.  We substitute
+composite objects assembled from labelled primitive parts: each object
+class is a fixed arrangement of parts (e.g. a "lamp" = pole + shade +
+base), and the task is to label every point with its part id.  The mIoU
+metric and the per-point prediction structure match the paper's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .pointcloud import PointCloud
+from .synthetic import random_rotation
+
+__all__ = ["PART_CATEGORIES", "sample_part_object", "num_part_classes"]
+
+
+def _pole(rng: np.random.Generator, n: int) -> np.ndarray:
+    t = rng.uniform(-1, 1, size=n)
+    jitter = rng.normal(scale=0.04, size=(n, 2))
+    return np.stack([jitter[:, 0], jitter[:, 1], t], axis=1)
+
+
+def _disk(rng: np.random.Generator, n: int, z: float, radius: float) -> np.ndarray:
+    r = radius * np.sqrt(rng.uniform(0, 1, size=n))
+    theta = rng.uniform(0, 2 * np.pi, size=n)
+    zs = np.full(n, z) + rng.normal(scale=0.02, size=n)
+    return np.stack([r * np.cos(theta), r * np.sin(theta), zs], axis=1)
+
+
+def _shade(rng: np.random.Generator, n: int) -> np.ndarray:
+    h = rng.uniform(0, 0.5, size=n)
+    theta = rng.uniform(0, 2 * np.pi, size=n)
+    r = 0.2 + 0.5 * h
+    return np.stack([r * np.cos(theta), r * np.sin(theta), 1.0 - h], axis=1)
+
+
+def _slab(rng: np.random.Generator, n: int, z: float, half: float) -> np.ndarray:
+    xy = rng.uniform(-half, half, size=(n, 2))
+    zs = np.full(n, z) + rng.normal(scale=0.02, size=n)
+    return np.stack([xy[:, 0], xy[:, 1], zs], axis=1)
+
+
+def _leg(rng: np.random.Generator, n: int, x: float, y: float) -> np.ndarray:
+    t = rng.uniform(-1, 0, size=n)
+    jitter = rng.normal(scale=0.03, size=(n, 2))
+    return np.stack([x + jitter[:, 0], y + jitter[:, 1], t], axis=1)
+
+
+def _wing(rng: np.random.Generator, n: int, sign: float) -> np.ndarray:
+    u = rng.uniform(0, 1, size=n)
+    v = rng.uniform(-0.15, 0.15, size=n)
+    x = sign * (0.2 + 0.9 * u)
+    return np.stack([x, v, 0.1 * u + rng.normal(scale=0.02, size=n)], axis=1)
+
+
+def _fuselage(rng: np.random.Generator, n: int) -> np.ndarray:
+    t = rng.uniform(-1, 1, size=n)
+    theta = rng.uniform(0, 2 * np.pi, size=n)
+    r = 0.15 * (1 - 0.5 * np.abs(t))
+    return np.stack([r * np.cos(theta), t, r * np.sin(theta)], axis=1)
+
+
+# Each category maps part-name -> (sampler, fraction of points).
+# Part ids are globally unique across categories (ShapeNet convention).
+_LampParts = {
+    "lamp/base": (lambda rng, n: _disk(rng, n, -1.0, 0.5), 0.2),
+    "lamp/pole": (_pole, 0.4),
+    "lamp/shade": (_shade, 0.4),
+}
+_TableParts = {
+    "table/top": (lambda rng, n: _slab(rng, n, 0.0, 1.0), 0.5),
+    "table/leg": (
+        lambda rng, n: np.concatenate(
+            [
+                _leg(rng, n // 4, sx, sy)
+                for sx, sy in ((0.8, 0.8), (0.8, -0.8), (-0.8, 0.8), (-0.8, -0.8))
+            ]
+            + [np.empty((n - 4 * (n // 4), 3))]
+        ),
+        0.5,
+    ),
+}
+_PlaneParts = {
+    "plane/fuselage": (_fuselage, 0.5),
+    "plane/wing_l": (lambda rng, n: _wing(rng, n, -1.0), 0.25),
+    "plane/wing_r": (lambda rng, n: _wing(rng, n, 1.0), 0.25),
+}
+
+PART_CATEGORIES: Dict[str, Dict[str, Tuple[Callable, float]]] = {
+    "lamp": _LampParts,
+    "table": _TableParts,
+    "plane": _PlaneParts,
+}
+
+_ALL_PART_NAMES: List[str] = [
+    part for cat in PART_CATEGORIES.values() for part in cat.keys()
+]
+
+
+def num_part_classes() -> int:
+    """Total number of distinct part labels across all categories."""
+    return len(_ALL_PART_NAMES)
+
+
+def part_id(name: str) -> int:
+    return _ALL_PART_NAMES.index(name)
+
+
+def sample_part_object(
+    category: str,
+    rng: np.random.Generator,
+    num_points: int = 256,
+    noise: float = 0.02,
+    rotate: bool = True,
+) -> PointCloud:
+    """Sample one part-labelled object from ``category``.
+
+    Returns a :class:`PointCloud` whose ``labels`` hold global part ids and
+    whose ``attrs['category']`` names the object class.
+    """
+    if category not in PART_CATEGORIES:
+        raise KeyError(f"unknown part category {category!r}")
+    parts = PART_CATEGORIES[category]
+    pts_list: List[np.ndarray] = []
+    lab_list: List[np.ndarray] = []
+    names = list(parts.keys())
+    fracs = np.array([parts[n][1] for n in names])
+    counts = np.maximum(1, (fracs / fracs.sum() * num_points).astype(int))
+    # Adjust rounding so counts sum exactly to num_points.
+    counts[-1] += num_points - counts.sum()
+    for name, cnt in zip(names, counts):
+        sampler = parts[name][0]
+        pts = sampler(rng, int(cnt))[: int(cnt)]
+        if len(pts) < cnt:  # samplers with integer-division slack
+            extra = pts[rng.integers(0, max(len(pts), 1), size=cnt - len(pts))]
+            pts = np.concatenate([pts, extra])
+        pts_list.append(pts)
+        lab_list.append(np.full(int(cnt), part_id(name), dtype=np.int64))
+    points = np.concatenate(pts_list)
+    labels = np.concatenate(lab_list)
+    if rotate:
+        points = points @ random_rotation(rng).T
+    points = points + rng.normal(scale=noise, size=points.shape)
+    perm = rng.permutation(len(points))
+    cloud = PointCloud(points[perm], labels=labels[perm], attrs={"category": category})
+    normalized = cloud.normalized()
+    normalized.labels = cloud.labels
+    normalized.attrs = dict(cloud.attrs)
+    return normalized

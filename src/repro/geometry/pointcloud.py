@@ -1,0 +1,114 @@
+"""Point cloud container used throughout the library.
+
+A :class:`PointCloud` is a thin, validated wrapper around an ``(N, 3)``
+float array of coordinates plus optional per-point attribute arrays
+(features, labels).  It is intentionally simple: the heavy lifting is done
+by the K-d tree (:mod:`repro.kdtree`) and the network layers
+(:mod:`repro.models`); this class only guarantees a consistent shape and
+dtype contract at the boundary of every subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["PointCloud"]
+
+
+@dataclass
+class PointCloud:
+    """An unordered set of 3D points with optional per-point attributes.
+
+    Parameters
+    ----------
+    points:
+        ``(N, 3)`` float64 array of XYZ coordinates.
+    features:
+        Optional ``(N, F)`` array of per-point features (e.g. intensity,
+        normals).  ``None`` means the network uses raw coordinates.
+    labels:
+        Optional ``(N,)`` integer array of per-point labels (used by
+        segmentation tasks).
+    attrs:
+        Free-form metadata (e.g. class id, scene id, sensor origin).
+    """
+
+    points: np.ndarray
+    features: Optional[np.ndarray] = None
+    labels: Optional[np.ndarray] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.points = np.ascontiguousarray(self.points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise ValueError(
+                f"points must have shape (N, 3), got {self.points.shape}"
+            )
+        if self.features is not None:
+            self.features = np.ascontiguousarray(self.features, dtype=np.float64)
+            if self.features.ndim != 2 or len(self.features) != len(self.points):
+                raise ValueError(
+                    "features must have shape (N, F) matching points; got "
+                    f"{self.features.shape} for {len(self.points)} points"
+                )
+        if self.labels is not None:
+            self.labels = np.ascontiguousarray(self.labels, dtype=np.int64)
+            if self.labels.shape != (len(self.points),):
+                raise ValueError(
+                    "labels must have shape (N,) matching points; got "
+                    f"{self.labels.shape} for {len(self.points)} points"
+                )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Mean of the point coordinates, shape ``(3,)``."""
+        return self.points.mean(axis=0)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Axis-aligned bounding box, shape ``(2, 3)`` (min row, max row)."""
+        return np.stack([self.points.min(axis=0), self.points.max(axis=0)])
+
+    def subset(self, indices: np.ndarray) -> "PointCloud":
+        """Return a new cloud restricted to ``indices`` (order preserved)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return PointCloud(
+            points=self.points[indices],
+            features=None if self.features is None else self.features[indices],
+            labels=None if self.labels is None else self.labels[indices],
+            attrs=dict(self.attrs),
+        )
+
+    def normalized(self) -> "PointCloud":
+        """Return a copy translated to the origin and scaled to the unit sphere.
+
+        This mirrors the standard ModelNet40 preprocessing used by
+        PointNet++ and DensePoint: subtract the centroid, then divide by the
+        maximum point norm so every shape fits inside the unit ball.
+        """
+        centered = self.points - self.centroid
+        scale = np.linalg.norm(centered, axis=1).max()
+        if scale == 0.0:
+            scale = 1.0
+        return PointCloud(
+            points=centered / scale,
+            features=None if self.features is None else self.features.copy(),
+            labels=None if self.labels is None else self.labels.copy(),
+            attrs=dict(self.attrs),
+        )
+
+    def with_attrs(self, **attrs: object) -> "PointCloud":
+        """Return a shallow copy with ``attrs`` merged into the metadata."""
+        merged = dict(self.attrs)
+        merged.update(attrs)
+        return PointCloud(self.points, self.features, self.labels, merged)

@@ -1,0 +1,109 @@
+"""Augmentation transforms applied during network training.
+
+These mirror the standard PointNet++ training pipeline: random rotation
+about the gravity axis, coordinate jitter, anisotropic scaling, and random
+point dropout.  Each transform is a callable ``(PointCloud, Generator) ->
+PointCloud`` so they compose with :class:`Compose`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .pointcloud import PointCloud
+
+__all__ = [
+    "Compose",
+    "RandomYawRotation",
+    "Jitter",
+    "RandomScale",
+    "RandomDropout",
+]
+
+Transform = Callable[[PointCloud, np.random.Generator], PointCloud]
+
+
+class Compose:
+    """Apply a sequence of transforms left to right."""
+
+    def __init__(self, transforms: Sequence[Transform]):
+        self.transforms = list(transforms)
+
+    def __call__(self, cloud: PointCloud, rng: np.random.Generator) -> PointCloud:
+        for t in self.transforms:
+            cloud = t(cloud, rng)
+        return cloud
+
+
+class RandomYawRotation:
+    """Rotate uniformly about +z (the augmentation PointNet++ uses)."""
+
+    def __call__(self, cloud: PointCloud, rng: np.random.Generator) -> PointCloud:
+        theta = rng.uniform(0, 2 * np.pi)
+        c, s = np.cos(theta), np.sin(theta)
+        rot = np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+        return PointCloud(
+            cloud.points @ rot.T, cloud.features, cloud.labels, dict(cloud.attrs)
+        )
+
+
+class Jitter:
+    """Add clipped Gaussian noise to every coordinate."""
+
+    def __init__(self, sigma: float = 0.01, clip: float = 0.05):
+        if sigma < 0 or clip < 0:
+            raise ValueError("sigma and clip must be non-negative")
+        self.sigma = sigma
+        self.clip = clip
+
+    def __call__(self, cloud: PointCloud, rng: np.random.Generator) -> PointCloud:
+        noise = np.clip(
+            rng.normal(scale=self.sigma, size=cloud.points.shape),
+            -self.clip,
+            self.clip,
+        )
+        return PointCloud(
+            cloud.points + noise, cloud.features, cloud.labels, dict(cloud.attrs)
+        )
+
+
+class RandomScale:
+    """Scale the whole cloud by a factor drawn from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.8, high: float = 1.25):
+        if low <= 0 or high < low:
+            raise ValueError("require 0 < low <= high")
+        self.low = low
+        self.high = high
+
+    def __call__(self, cloud: PointCloud, rng: np.random.Generator) -> PointCloud:
+        scale = rng.uniform(self.low, self.high)
+        return PointCloud(
+            cloud.points * scale, cloud.features, cloud.labels, dict(cloud.attrs)
+        )
+
+
+class RandomDropout:
+    """Replace a random fraction of points with the first point.
+
+    This is the "random input dropout" used by PointNet++: dropped points
+    are overwritten rather than removed so the cloud size stays fixed.
+    """
+
+    def __init__(self, max_dropout: float = 0.5):
+        if not 0.0 <= max_dropout < 1.0:
+            raise ValueError("max_dropout must be in [0, 1)")
+        self.max_dropout = max_dropout
+
+    def __call__(self, cloud: PointCloud, rng: np.random.Generator) -> PointCloud:
+        ratio = rng.uniform(0, self.max_dropout)
+        mask = rng.uniform(size=len(cloud)) < ratio
+        points = cloud.points.copy()
+        points[mask] = points[0]
+        labels = cloud.labels
+        if labels is not None:
+            labels = labels.copy()
+            labels[mask] = labels[0]
+        return PointCloud(points, cloud.features, labels, dict(cloud.attrs))

@@ -1,0 +1,70 @@
+"""Brute-force (exhaustive) neighbor search.
+
+Serves two roles:
+
+1. Ground truth for the K-d tree searchers (they must agree exactly).
+2. The search strategy of the Tigris/QuickNN sub-tree stage, which the
+   paper compares against in Fig. 24a: those accelerators run exhaustive
+   search inside each sub-tree, so their "nodes visited" per query equals
+   the sub-tree population.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["brute_radius_search", "brute_knn_search", "brute_ball_query"]
+
+
+def brute_radius_search(
+    points: np.ndarray, query: np.ndarray, radius: float
+) -> np.ndarray:
+    """Ids of ``points`` within ``radius`` of ``query``, sorted by distance."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    points = np.asarray(points, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    d2 = ((points - query) ** 2).sum(axis=1)
+    hits = np.nonzero(d2 <= radius * radius)[0]
+    return hits[np.argsort(d2[hits], kind="stable")]
+
+
+def brute_knn_search(points: np.ndarray, query: np.ndarray, k: int) -> np.ndarray:
+    """Ids of the ``k`` nearest points to ``query`` (nearest first)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    points = np.asarray(points, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    d2 = ((points - query) ** 2).sum(axis=1)
+    k = min(k, len(points))
+    idx = np.argpartition(d2, k - 1)[:k]
+    return idx[np.argsort(d2[idx], kind="stable")]
+
+
+def brute_ball_query(
+    points: np.ndarray, queries: np.ndarray, radius: float, max_neighbors: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized exhaustive ball query; same contract as
+    :func:`repro.kdtree.exact.ball_query` (padded ``(M, K)`` indices plus
+    true counts, nearest-node fallback for empty rows)."""
+    points = np.asarray(points, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    m = len(queries)
+    indices = np.zeros((m, max_neighbors), dtype=np.int64)
+    counts = np.zeros(m, dtype=np.int64)
+    # (M, N) pairwise squared distances; fine at the scales we simulate.
+    d2 = ((queries[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+    within = d2 <= radius * radius
+    for i in range(m):
+        hits = np.nonzero(within[i])[0]
+        hits = hits[np.argsort(d2[i, hits], kind="stable")][:max_neighbors]
+        if len(hits) == 0:
+            hits = np.array([int(np.argmin(d2[i]))])
+        counts[i] = len(hits) if within[i].any() else 0
+        row = np.empty(max_neighbors, dtype=np.int64)
+        row[: len(hits)] = hits
+        row[len(hits) :] = hits[0]
+        indices[i] = row
+    return indices, counts

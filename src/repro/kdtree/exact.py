@@ -1,0 +1,169 @@
+"""Exact K-d tree searches with traversal accounting.
+
+These searchers implement the baseline (non-approximate) neighbor search
+used by the unmodified networks.  They traverse with an explicit stack —
+the same structure the hardware PE walks — so the recorded statistics
+(visits, pushes, pops, visit traces) map one-to-one onto the accelerator
+simulation in :mod:`repro.accel`.
+
+The point-cloud-network-facing entry point is :func:`ball_query`, the
+radius-limited, K-capped neighbor search PointNet++/DensePoint/F-PointNet
+layers use to build the neighbor index matrix.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .build import KdTree
+from .stats import TraversalStats
+
+__all__ = ["radius_search", "knn_search", "ball_query"]
+
+
+def radius_search(
+    tree: KdTree,
+    query: np.ndarray,
+    radius: float,
+    max_neighbors: Optional[int] = None,
+    stats: Optional[TraversalStats] = None,
+    record_trace: bool = False,
+) -> List[int]:
+    """Return point ids within ``radius`` of ``query`` (at most ``max_neighbors``).
+
+    Traversal is depth-first with the near child visited first, matching
+    the PE's stack discipline.  When ``max_neighbors`` is reached the
+    traversal stops early (hardware behaviour: the result buffer is full).
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    query = np.asarray(query, dtype=np.float64)
+    stats = stats if stats is not None else TraversalStats()
+    stats.queries += 1
+    r2 = radius * radius
+    results: List[int] = []
+    stack = [tree.root]
+    stats.stack_pushes += 1
+    while stack:
+        node = stack.pop()
+        stats.stack_pops += 1
+        stats.nodes_visited += 1
+        if record_trace:
+            stats.visit_trace.append(node)
+        pt = tree.node_point(node)
+        delta = query - pt
+        if float(delta @ delta) <= r2:
+            results.append(int(tree.point_id[node]))
+            if max_neighbors is not None and len(results) >= max_neighbors:
+                break
+        dim = tree.split_dim[node]
+        diff = query[dim] - pt[dim]
+        l, r = tree.children(node)
+        near, far = (l, r) if diff <= 0 else (r, l)
+        if far >= 0:
+            if abs(diff) <= radius:
+                stack.append(far)
+                stats.stack_pushes += 1
+            else:
+                stats.nodes_pruned += tree.subtree_size[far]
+        if near >= 0:
+            stack.append(near)
+            stats.stack_pushes += 1
+    stats.neighbors_found += len(results)
+    return results
+
+
+def knn_search(
+    tree: KdTree,
+    query: np.ndarray,
+    k: int,
+    stats: Optional[TraversalStats] = None,
+    record_trace: bool = False,
+) -> List[int]:
+    """Return the ``k`` nearest point ids to ``query`` (nearest first).
+
+    Uses the classic shrinking-radius traversal: the pruning bound is the
+    current k-th best distance, so the search tightens as hits accumulate.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    query = np.asarray(query, dtype=np.float64)
+    stats = stats if stats is not None else TraversalStats()
+    stats.queries += 1
+    # Max-heap of (-dist2, point_id); heap[0] is the current worst of the best-k.
+    best: List[Tuple[float, int]] = []
+    stack = [tree.root]
+    stats.stack_pushes += 1
+    while stack:
+        node = stack.pop()
+        stats.stack_pops += 1
+        stats.nodes_visited += 1
+        if record_trace:
+            stats.visit_trace.append(node)
+        pt = tree.node_point(node)
+        delta = query - pt
+        d2 = float(delta @ delta)
+        if len(best) < k:
+            heapq.heappush(best, (-d2, int(tree.point_id[node])))
+        elif d2 < -best[0][0]:
+            heapq.heapreplace(best, (-d2, int(tree.point_id[node])))
+        bound2 = np.inf if len(best) < k else -best[0][0]
+        dim = tree.split_dim[node]
+        diff = query[dim] - pt[dim]
+        l, r = tree.children(node)
+        near, far = (l, r) if diff <= 0 else (r, l)
+        if far >= 0:
+            if diff * diff <= bound2:
+                stack.append(far)
+                stats.stack_pushes += 1
+            else:
+                stats.nodes_pruned += tree.subtree_size[far]
+        if near >= 0:
+            stack.append(near)
+            stats.stack_pushes += 1
+    ordered = sorted(best, key=lambda item: -item[0])
+    stats.neighbors_found += len(ordered)
+    return [pid for _, pid in ordered]
+
+
+def ball_query(
+    tree: KdTree,
+    queries: np.ndarray,
+    radius: float,
+    max_neighbors: int,
+    stats: Optional[TraversalStats] = None,
+    record_trace: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the neighbor index matrix for a batch of queries.
+
+    Returns ``(indices, counts)`` where ``indices`` is ``(M, K)`` int64 and
+    ``counts[m]`` is the number of real neighbors of query ``m``.  Rows with
+    fewer than ``K`` hits are padded by repeating the first neighbor — the
+    replication convention point cloud networks use (and the convention the
+    bank-conflict-elision hardware exploits; see Sec. 4.2 of the paper).
+    Queries with *zero* neighbors are padded with the query's own nearest
+    node point so downstream layers always see valid coordinates.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    m = len(queries)
+    indices = np.zeros((m, max_neighbors), dtype=np.int64)
+    counts = np.zeros(m, dtype=np.int64)
+    for i in range(m):
+        found = radius_search(
+            tree,
+            queries[i],
+            radius,
+            max_neighbors=max_neighbors,
+            stats=stats,
+            record_trace=record_trace,
+        )
+        counts[i] = min(len(found), max_neighbors)
+        if not found:
+            found = knn_search(tree, queries[i], 1)
+        row = found[:max_neighbors]
+        row = row + [row[0]] * (max_neighbors - len(row))
+        indices[i] = row
+    return indices, counts

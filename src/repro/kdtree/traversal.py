@@ -1,0 +1,234 @@
+"""Step-wise traversal state machines.
+
+The functional searchers in :mod:`repro.kdtree.exact` run a whole query to
+completion.  The Crescent hardware, by contrast, advances one *node visit*
+per PE pipeline pass and must react to bank conflicts at the FN (fetch
+node) stage.  The two classes here expose exactly that granularity:
+
+* :class:`TopTreeDescent` — phase 1 of the split-tree search: a pure
+  binary-search-tree descent from the root to a sub-tree root.  No
+  backtracking (the US stage is bypassed), no elision.
+* :class:`SubtreeSearch` — phase 2: stack-based radius search restricted
+  to one sub-tree, with optional conflict elision (a conflicted fetch of a
+  node at depth ``>= elide_depth`` drops the node and its whole subtree).
+
+Both machines are driven by ``peek()`` (which node will be fetched next)
+followed by ``advance(elide=...)`` (commit the visit, or skip it).  The
+functional approximate search (:mod:`repro.core.approx_search`) and the
+cycle-level engine (:mod:`repro.accel.search_engine`) drive the same
+machines, which keeps the two simulations behaviourally identical by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .build import KdTree
+from .stats import TraversalStats
+
+__all__ = ["TopTreeDescent", "SubtreeSearch"]
+
+
+class TopTreeDescent:
+    """Descend the first ``top_height`` levels of ``tree`` for one query.
+
+    After :attr:`done`, :attr:`assigned_root` holds the sub-tree root node
+    the query was routed to (a node at depth ``top_height``), and
+    :attr:`hits` holds any neighbors discovered among the top-tree nodes on
+    the way down (their points are distance-tested as they stream past).
+
+    If the descent runs off the tree early (short branch), the query is
+    assigned to the last real node visited.
+    """
+
+    def __init__(
+        self,
+        tree: KdTree,
+        query: np.ndarray,
+        radius: float,
+        top_height: int,
+        stats: Optional[TraversalStats] = None,
+    ):
+        if top_height < 0:
+            raise ValueError("top_height must be non-negative")
+        self.tree = tree
+        self.query = np.asarray(query, dtype=np.float64)
+        self.radius = radius
+        self.top_height = top_height
+        self.stats = stats if stats is not None else TraversalStats()
+        self.hits: List[int] = []
+        self.assigned_root: int = -1
+        self._current = tree.root if top_height > 0 else -1
+        if top_height == 0:
+            # Degenerate split: the whole tree is one sub-tree.
+            self.assigned_root = tree.root
+        self.stats.queries += 1
+
+    @property
+    def done(self) -> bool:
+        return self.assigned_root >= 0
+
+    def peek(self) -> int:
+        """Node id the next fetch will read, or ``-1`` when done."""
+        return -1 if self.done else self._current
+
+    def advance(self) -> None:
+        """Visit the current node and move to the near child."""
+        if self.done:
+            raise RuntimeError("descent already finished")
+        node = self._current
+        self.stats.nodes_visited += 1
+        tree = self.tree
+        pt = tree.node_point(node)
+        delta = self.query - pt
+        if float(delta @ delta) <= self.radius * self.radius:
+            self.hits.append(int(tree.point_id[node]))
+        dim = tree.split_dim[node]
+        near = tree.left[node] if self.query[dim] <= pt[dim] else tree.right[node]
+        if near < 0:
+            # Short branch: fall back to the other child, else terminate here.
+            other = tree.right[node] if self.query[dim] <= pt[dim] else tree.left[node]
+            near = other
+        if near < 0 or tree.depth[near] > self.top_height:
+            # Should not happen for balanced trees with valid top_height,
+            # but guard so malformed inputs terminate instead of looping.
+            self.assigned_root = node
+            return
+        if tree.depth[near] == self.top_height:
+            self.assigned_root = int(near)
+        else:
+            self._current = int(near)
+
+
+class SubtreeSearch:
+    """Stack-based radius search restricted to one sub-tree.
+
+    Parameters
+    ----------
+    root:
+        Sub-tree root node id; backtracking never leaves this subtree
+        (Crescent's accuracy-for-streaming trade, Sec. 3.1).
+    elide_depth:
+        Global tree depth at or below which a *conflicted* fetch is elided
+        (the paper's elision height ``h_e``).  ``None`` disables elision:
+        ``advance(elide=True)`` then raises, because the caller should have
+        stalled instead.
+    max_neighbors:
+        Stop the traversal once this many neighbors are collected (result
+        buffer capacity).
+    """
+
+    def __init__(
+        self,
+        tree: KdTree,
+        query: np.ndarray,
+        radius: float,
+        root: int,
+        max_neighbors: Optional[int] = None,
+        elide_depth: Optional[int] = None,
+        stats: Optional[TraversalStats] = None,
+        record_trace: bool = False,
+    ):
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.tree = tree
+        self.query = np.asarray(query, dtype=np.float64)
+        self.radius = radius
+        self.r2 = radius * radius
+        self.max_neighbors = max_neighbors
+        self.elide_depth = elide_depth
+        self.stats = stats if stats is not None else TraversalStats()
+        self.record_trace = record_trace
+        self.hits: List[int] = []
+        self._stack: List[int] = [int(root)] if root >= 0 else []
+        self.stats.stack_pushes += len(self._stack)
+
+    @property
+    def done(self) -> bool:
+        full = (
+            self.max_neighbors is not None and len(self.hits) >= self.max_neighbors
+        )
+        return full or not self._stack
+
+    def peek(self) -> int:
+        return -1 if self.done else self._stack[-1]
+
+    def would_elide(self, node: int) -> bool:
+        """True if a bank conflict on ``node`` would be elided (not stalled)."""
+        return (
+            self.elide_depth is not None
+            and int(self.tree.depth[node]) >= self.elide_depth
+        )
+
+    def advance(self, elide: bool = False, substitute: Optional[int] = None) -> None:
+        """Consume the top-of-stack node.
+
+        ``elide=False`` performs the normal visit (distance test + child
+        pushes).  ``elide=True`` drops the node — modelling a bank conflict
+        whose retry was suppressed — which skips its entire subtree.
+        ``elide=True`` with ``substitute`` set continues the traversal from
+        ``substitute`` instead (the paper's Sec. 4.2 future-work
+        optimization): valid only when ``substitute`` is a descendant of
+        the requested node, so termination is preserved; only the nodes
+        between the two are lost.
+        """
+        if self.done:
+            raise RuntimeError("search already finished")
+        node = self._stack.pop()
+        self.stats.stack_pops += 1
+        tree = self.tree
+        if elide and substitute == node:
+            # The winner fetched the very node this PE wanted: its data is
+            # broadcast and the visit proceeds normally (no loss).
+            elide = False
+        if elide:
+            if not self.would_elide(node):
+                raise RuntimeError(
+                    f"node {node} at depth {tree.depth[node]} is above the "
+                    f"elision height {self.elide_depth}; the PE must stall"
+                )
+            if substitute is not None:
+                if not tree.is_descendant(substitute, node):
+                    raise RuntimeError(
+                        f"substitute {substitute} is not beneath {node}"
+                    )
+                self.stats.nodes_skipped += int(
+                    tree.subtree_size[node] - tree.subtree_size[substitute]
+                )
+                self._stack.append(int(substitute))
+                self.stats.stack_pushes += 1
+                return
+            self.stats.nodes_skipped += int(tree.subtree_size[node])
+            return
+        self.stats.nodes_visited += 1
+        if self.record_trace:
+            self.stats.visit_trace.append(node)
+        pt = tree.node_point(node)
+        delta = self.query - pt
+        if float(delta @ delta) <= self.r2:
+            self.hits.append(int(tree.point_id[node]))
+            self.stats.neighbors_found += 1
+            if self.max_neighbors is not None and len(self.hits) >= self.max_neighbors:
+                return
+        dim = tree.split_dim[node]
+        diff = float(self.query[dim] - pt[dim])
+        l, r = tree.children(node)
+        near, far = (l, r) if diff <= 0 else (r, l)
+        if far >= 0:
+            if abs(diff) <= self.radius:
+                self._stack.append(int(far))
+                self.stats.stack_pushes += 1
+            else:
+                self.stats.nodes_pruned += int(tree.subtree_size[far])
+        if near >= 0:
+            self._stack.append(int(near))
+            self.stats.stack_pushes += 1
+
+    def run_to_completion(self, elide_all_conflicts: bool = False) -> List[int]:
+        """Drive the machine without a conflict model (no elisions)."""
+        while not self.done:
+            self.advance(elide=False)
+        return self.hits

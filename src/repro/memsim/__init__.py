@@ -1,0 +1,24 @@
+"""Memory-system simulator: DRAM, banked SRAM, cache, energy accounting."""
+
+from .trace import continuous_mask, fraction_noncontiguous, interleave_round_robin
+from .dram import DramConfig, DramModel, DramUsage
+from .cache import CacheStats, FullyAssociativeCache
+from .sram import BankedSram, BankedSramConfig, SramStats, crossbar_area_relative
+from .energy import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "continuous_mask",
+    "fraction_noncontiguous",
+    "interleave_round_robin",
+    "DramConfig",
+    "DramModel",
+    "DramUsage",
+    "CacheStats",
+    "FullyAssociativeCache",
+    "BankedSram",
+    "BankedSramConfig",
+    "SramStats",
+    "crossbar_area_relative",
+    "EnergyBreakdown",
+    "EnergyModel",
+]

@@ -1,0 +1,138 @@
+"""DRAM timing/energy model.
+
+Modeled after the paper's setup: Micron 16 Gb LPDDR3-1600, 4 channels.
+We keep the model at the row-buffer level — the granularity that actually
+separates Crescent from the baselines:
+
+* A *streaming* access hits the open row (or opens a new row that the
+  whole burst then uses); cost ≈ column access + burst transfer.
+* A *random* access forces a precharge + activate before the column
+  access.
+
+The paper reports the resulting energy ratio of random : streaming DRAM
+access as about 3 : 1, and random DRAM : SRAM as 25 : 1; the default
+constants reproduce those ratios (see :mod:`repro.memsim.energy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DramConfig", "DramModel", "DramUsage"]
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Physical organization and per-event costs.
+
+    Cycle costs are expressed in accelerator clock cycles (the paper's
+    simulator is parameterized the same way).  Energy is per byte, in
+    picojoules, chosen to reproduce the published 3:1 random:streaming and
+    25:1 random:SRAM ratios.
+    """
+
+    row_bytes: int = 2048
+    burst_bytes: int = 64
+    channels: int = 4
+    # Timing (cycles).
+    t_row_activate: int = 28  # precharge + activate on a row miss
+    t_column: int = 8  # column access on an open row
+    t_burst: int = 4  # data transfer per burst
+    # Energy (pJ/byte).
+    e_streaming_per_byte: float = 8.33
+    e_random_per_byte: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.row_bytes <= 0 or self.burst_bytes <= 0 or self.channels <= 0:
+            raise ValueError("row_bytes, burst_bytes, channels must be positive")
+        if self.burst_bytes > self.row_bytes:
+            raise ValueError("burst must not exceed a row")
+
+
+@dataclass
+class DramUsage:
+    """Accumulated DRAM activity for one simulation."""
+
+    streaming_bytes: int = 0
+    random_bytes: int = 0
+    streaming_accesses: int = 0
+    random_accesses: int = 0
+    cycles: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.streaming_bytes + self.random_bytes
+
+    def merge(self, other: "DramUsage") -> "DramUsage":
+        self.streaming_bytes += other.streaming_bytes
+        self.random_bytes += other.random_bytes
+        self.streaming_accesses += other.streaming_accesses
+        self.random_accesses += other.random_accesses
+        self.cycles += other.cycles
+        return self
+
+
+class DramModel:
+    """Classifies an address trace into row hits/misses and accumulates cost."""
+
+    def __init__(self, config: DramConfig = DramConfig()):
+        self.config = config
+        self.usage = DramUsage()
+
+    def reset(self) -> None:
+        self.usage = DramUsage()
+
+    def stream(self, num_bytes: int) -> DramUsage:
+        """Account a purely sequential transfer of ``num_bytes``.
+
+        Used for DMA transfers (tree images, query batches, weight tensors):
+        every burst after the first in each row is a row hit.  Returns the
+        incremental usage (also accumulated on :attr:`usage`).
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        cfg = self.config
+        bursts = -(-num_bytes // cfg.burst_bytes)  # ceil division
+        rows = -(-num_bytes // cfg.row_bytes) if num_bytes else 0
+        cycles = rows * cfg.t_row_activate + bursts * (cfg.t_column + cfg.t_burst)
+        cycles = -(-cycles // cfg.channels)  # channel-level parallelism
+        inc = DramUsage(
+            streaming_bytes=num_bytes,
+            streaming_accesses=bursts,
+            cycles=cycles,
+        )
+        self.usage.merge(inc)
+        return inc
+
+    def access_trace(self, addresses: np.ndarray, access_bytes: int) -> DramUsage:
+        """Account an arbitrary address trace (row-buffer hit/miss model).
+
+        An access is *streaming* when it falls in the same DRAM row as the
+        previous access; otherwise it pays the activate penalty.  This is
+        what the irregular tree traversals of the baseline search generate.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        cfg = self.config
+        if len(addresses) == 0:
+            return DramUsage()
+        rows = addresses // cfg.row_bytes
+        same_row = np.zeros(len(addresses), dtype=bool)
+        same_row[1:] = rows[1:] == rows[:-1]
+        hits = int(same_row.sum())
+        misses = len(addresses) - hits
+        cycles = misses * (cfg.t_row_activate + cfg.t_column + cfg.t_burst)
+        cycles += hits * (cfg.t_column + cfg.t_burst)
+        cycles = -(-cycles // cfg.channels)
+        inc = DramUsage(
+            streaming_bytes=hits * access_bytes,
+            random_bytes=misses * access_bytes,
+            streaming_accesses=hits,
+            random_accesses=misses,
+            cycles=cycles,
+        )
+        self.usage.merge(inc)
+        return inc

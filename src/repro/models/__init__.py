@@ -1,0 +1,29 @@
+"""Point cloud networks: PointNet++ (c/s), DensePoint, F-PointNet."""
+
+from .layers import (
+    FeaturePropagation,
+    GlobalMaxPool,
+    SetAbstraction,
+    farthest_point_sampling,
+)
+from .pointnetpp import PointNetPPClassifier, PointNetPPSegmenter
+from .densepoint import DensePointClassifier
+from .fpointnet import CAR_ANCHOR, BoxPrediction, FrustumPointNet, frustum_crop
+from .registry import MODEL_REGISTRY, ModelEntry, build_model
+
+__all__ = [
+    "FeaturePropagation",
+    "GlobalMaxPool",
+    "SetAbstraction",
+    "farthest_point_sampling",
+    "PointNetPPClassifier",
+    "PointNetPPSegmenter",
+    "DensePointClassifier",
+    "CAR_ANCHOR",
+    "BoxPrediction",
+    "FrustumPointNet",
+    "frustum_crop",
+    "MODEL_REGISTRY",
+    "ModelEntry",
+    "build_model",
+]

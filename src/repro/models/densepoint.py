@@ -1,0 +1,95 @@
+"""DensePoint classifier (Liu et al., ICCV'19), scaled down.
+
+DensePoint's signature is *dense connectivity*: each stage's narrow
+"PPool/PConv" output is concatenated with the features entering it, so
+late stages see early features directly.  This produces many
+search-and-aggregate stages with narrow MLPs — the reason DensePoint is
+neighbor-search-bound and shows Crescent's largest gains.
+
+Our variant keeps that structure (several narrow stages, dense feature
+concatenation, shared hierarchical downsampling) at synthetic-dataset
+scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import ApproxSetting
+from ..core.pipeline import ApproximationPipeline
+from ..nn.layers import MLP, Dropout
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .layers import GlobalMaxPool, SetAbstraction
+
+__all__ = ["DensePointClassifier"]
+
+
+class DensePointClassifier(Module):
+    """A densely-connected stack of narrow set-abstraction stages."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        rng: np.random.Generator,
+        pipeline: Optional[ApproximationPipeline] = None,
+        stage_centroids: Sequence[int] = (96, 64, 32, 16),
+        growth: int = 16,
+        max_neighbors: int = 8,
+    ):
+        super().__init__()
+        if num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        self.pipeline = pipeline or ApproximationPipeline()
+        self.stages: List[SetAbstraction] = []
+        in_features = 0
+        radius = 0.2
+        for i, m in enumerate(stage_centroids):
+            stage = SetAbstraction(
+                m,
+                radius,
+                max_neighbors,
+                in_features=in_features,
+                mlp_widths=(growth,),
+                pipeline=self.pipeline,
+                rng=rng,
+            )
+            self.stages.append(stage)
+            # Dense connectivity: the next stage consumes the concatenation
+            # of this stage's output with the features that entered it.
+            in_features = in_features + growth
+            radius *= 1.5
+        self.pool = GlobalMaxPool()
+        self.dropout = Dropout(0.3, rng=np.random.default_rng(rng.integers(2**31)))
+        # batch_norm off: single pooled row per cloud (see pointnetpp.py).
+        self.head = MLP([in_features, 64, num_classes], rng, batch_norm=False, final_activation=False)
+
+    def forward(
+        self,
+        points: np.ndarray,
+        setting: ApproxSetting = ApproxSetting(),
+        cache_key: Optional[int] = None,
+    ) -> Tensor:
+        current_points = np.asarray(points, dtype=np.float64)
+        features: Optional[Tensor] = None
+        for i, stage in enumerate(self.stages):
+            key = (cache_key, f"stage{i}") if cache_key is not None else None
+            new_points, new_features = stage(
+                current_points, features, setting, cache_key=key
+            )
+            if features is None:
+                dense = new_features
+            else:
+                # Gather the incoming features at the surviving centroids
+                # (FPS indices are deterministic, so recompute them).
+                from .layers import farthest_point_sampling
+
+                fps = farthest_point_sampling(current_points, stage.num_centroids)
+                carried = features.take(fps)
+                dense = new_features.concat([carried], axis=-1)
+            current_points = new_points
+            features = dense
+        pooled = self.pool(features)
+        return self.head(self.dropout(pooled))

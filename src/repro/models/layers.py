@@ -1,0 +1,196 @@
+"""Point cloud network building blocks.
+
+:class:`SetAbstraction` is the canonical PointNet++ layer: sample
+centroids (farthest point sampling), search each centroid's neighborhood
+(through an :class:`~repro.core.pipeline.ApproximationPipeline`, which is
+where all of Crescent's approximation enters), gather the neighbors,
+run a shared MLP on relative coordinates + features, and max-pool per
+centroid.
+
+:class:`FeaturePropagation` is the PointNet++ upsampling layer used by the
+segmentation and detection heads: features are interpolated back onto a
+denser point set by inverse-distance-weighted 3-NN, concatenated with skip
+features, and refined by a per-point MLP.
+
+Neither neighbor search nor interpolation weights participate in gradient
+flow (paper Sec. 5, Fig. 11): they are computed in NumPy and enter the
+graph as constants; gradients flow through gathers and MLPs only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import ApproxSetting
+from ..core.pipeline import ApproximationPipeline
+from ..kdtree.brute import brute_knn_search
+from ..nn.layers import MLP
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["farthest_point_sampling", "SetAbstraction", "FeaturePropagation", "GlobalMaxPool"]
+
+
+def farthest_point_sampling(points: np.ndarray, num_samples: int, start: int = 0) -> np.ndarray:
+    """Deterministic farthest point sampling.
+
+    Greedy max-min selection starting from ``points[start]``.  Determinism
+    matters: it keeps layer geometry (and therefore the cached neighbor
+    matrices) stable across training epochs.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if not 0 < num_samples <= n:
+        raise ValueError(f"num_samples must be in (0, {n}], got {num_samples}")
+    chosen = np.empty(num_samples, dtype=np.int64)
+    chosen[0] = start
+    dist = ((points - points[start]) ** 2).sum(axis=1)
+    for i in range(1, num_samples):
+        nxt = int(np.argmax(dist))
+        chosen[i] = nxt
+        dist = np.minimum(dist, ((points - points[nxt]) ** 2).sum(axis=1))
+    return chosen
+
+
+class SetAbstraction(Module):
+    """One PointNet++ set-abstraction layer.
+
+    Parameters
+    ----------
+    num_centroids:
+        Points sampled by FPS this layer (``None`` = group-all: a single
+        pseudo-centroid at the centroid of the cloud covering every point,
+        used as the global pooling stage of classifiers).
+    radius, max_neighbors:
+        Ball-query parameters.
+    mlp_channels:
+        Shared-MLP widths; input width must be ``3 + in_features``
+        (relative coordinates concatenated with point features).
+    pipeline:
+        The approximation pipeline; one instance is usually shared by all
+        layers of a network so caching and banking stay consistent.
+    """
+
+    def __init__(
+        self,
+        num_centroids: Optional[int],
+        radius: float,
+        max_neighbors: int,
+        in_features: int,
+        mlp_widths: Sequence[int],
+        pipeline: ApproximationPipeline,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        if num_centroids is not None and num_centroids <= 0:
+            raise ValueError("num_centroids must be positive or None")
+        self.num_centroids = num_centroids
+        self.radius = radius
+        self.max_neighbors = max_neighbors
+        self.in_features = in_features
+        self.pipeline = pipeline
+        # batch_norm off: training feeds one cloud at a time, so batch
+        # statistics would be per-input (and eval-time running stats would
+        # mismatch them).  The reference implementations normalize across
+        # large cross-cloud batches, which we cannot form here.
+        self.mlp = MLP([3 + in_features, *mlp_widths], rng, batch_norm=False)
+        self.out_features = mlp_widths[-1]
+
+    def forward(
+        self,
+        points: np.ndarray,
+        features: Optional[Tensor],
+        setting: ApproxSetting,
+        cache_key: Optional[tuple] = None,
+    ) -> Tuple[np.ndarray, Tensor]:
+        """Returns ``(centroid_points, centroid_features)``."""
+        points = np.asarray(points, dtype=np.float64)
+        if self.num_centroids is None:
+            centroids = points.mean(axis=0, keepdims=True)
+            k = len(points)
+            indices = np.arange(k, dtype=np.int64)[None, :]
+        else:
+            fps = farthest_point_sampling(points, self.num_centroids)
+            centroids = points[fps]
+            k = self.max_neighbors
+            indices = self.pipeline.query(
+                points,
+                centroids,
+                self.radius,
+                self.max_neighbors,
+                setting,
+                cache_key=cache_key,
+            )
+        m = len(centroids)
+        # Relative coordinates of each gathered neighbor (constants in the
+        # graph — geometry does not carry gradient).
+        rel = points[indices] - centroids[:, None, :]  # (M, K, 3)
+        grouped = Tensor(rel)
+        if features is not None:
+            gathered = features.take(indices.reshape(-1)).reshape(m, k, self.in_features)
+            grouped = grouped.concat([gathered], axis=-1)
+        elif self.in_features:
+            raise ValueError("layer expects features but received none")
+        out = self.mlp(grouped)  # (M, K, C_out)
+        pooled = out.max(axis=1)  # (M, C_out)
+        return centroids, pooled
+
+
+class FeaturePropagation(Module):
+    """PointNet++ feature propagation (3-NN inverse-distance upsampling)."""
+
+    def __init__(
+        self,
+        coarse_features: int,
+        skip_features: int,
+        mlp_widths: Sequence[int],
+        rng: np.random.Generator,
+        k: int = 3,
+    ):
+        super().__init__()
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.coarse_features = coarse_features
+        self.skip_features = skip_features
+        # batch_norm off: see SetAbstraction.
+        self.mlp = MLP([coarse_features + skip_features, *mlp_widths], rng, batch_norm=False)
+        self.out_features = mlp_widths[-1]
+
+    def forward(
+        self,
+        dense_points: np.ndarray,
+        coarse_points: np.ndarray,
+        coarse_features: Tensor,
+        skip_features: Optional[Tensor],
+    ) -> Tensor:
+        dense_points = np.asarray(dense_points, dtype=np.float64)
+        coarse_points = np.asarray(coarse_points, dtype=np.float64)
+        n = len(dense_points)
+        k = min(self.k, len(coarse_points))
+        idx = np.empty((n, k), dtype=np.int64)
+        w = np.empty((n, k))
+        for i in range(n):
+            nearest = brute_knn_search(coarse_points, dense_points[i], k)
+            idx[i] = nearest
+            d = np.linalg.norm(coarse_points[nearest] - dense_points[i], axis=1)
+            inv = 1.0 / np.maximum(d, 1e-8)
+            w[i] = inv / inv.sum()
+        gathered = coarse_features.take(idx.reshape(-1)).reshape(
+            n, k, self.coarse_features
+        )
+        interpolated = (gathered * Tensor(w[:, :, None])).sum(axis=1)
+        if skip_features is not None:
+            interpolated = interpolated.concat([skip_features], axis=-1)
+        elif self.skip_features:
+            raise ValueError("layer expects skip features but received none")
+        return self.mlp(interpolated)
+
+
+class GlobalMaxPool(Module):
+    """Max over the point axis of an ``(N, C)`` feature tensor → ``(1, C)``."""
+
+    def forward(self, features: Tensor) -> Tensor:
+        return features.max(axis=0, keepdims=True)

@@ -1,0 +1,120 @@
+"""PointNet++ classification and segmentation models (Qi et al., NeurIPS'17).
+
+Scaled-down single-scale-grouping (SSG) variants sized for the synthetic
+datasets: the architecture — hierarchical set abstraction, global pooling
+for classification, feature propagation for segmentation — matches the
+originals; widths and point counts are reduced so CPU training converges
+in seconds.
+
+Every forward takes an :class:`~repro.core.config.ApproxSetting`, which is
+how both inference-time approximation and approximation-aware training
+(sampling ``h`` per input) are expressed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.config import ApproxSetting
+from ..core.pipeline import ApproximationPipeline
+from ..nn.layers import MLP, Dropout
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from .layers import FeaturePropagation, GlobalMaxPool, SetAbstraction
+
+__all__ = ["PointNetPPClassifier", "PointNetPPSegmenter"]
+
+
+class PointNetPPClassifier(Module):
+    """PointNet++ (c): SA ×2 → group-all SA → classifier head."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        rng: np.random.Generator,
+        pipeline: Optional[ApproximationPipeline] = None,
+        num_centroids: Tuple[int, int] = (64, 16),
+        radii: Tuple[float, float] = (0.25, 0.5),
+        max_neighbors: int = 8,
+    ):
+        super().__init__()
+        if num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        self.pipeline = pipeline or ApproximationPipeline()
+        self.sa1 = SetAbstraction(
+            num_centroids[0], radii[0], max_neighbors,
+            in_features=0, mlp_widths=(32, 32), pipeline=self.pipeline, rng=rng,
+        )
+        self.sa2 = SetAbstraction(
+            num_centroids[1], radii[1], max_neighbors,
+            in_features=32, mlp_widths=(64, 64), pipeline=self.pipeline, rng=rng,
+        )
+        self.sa3 = SetAbstraction(
+            None, 1.0, max_neighbors,
+            in_features=64, mlp_widths=(128,), pipeline=self.pipeline, rng=rng,
+        )
+        self.pool = GlobalMaxPool()
+        self.dropout = Dropout(0.3, rng=np.random.default_rng(rng.integers(2**31)))
+        # batch_norm off: the head sees a single pooled row per cloud, and
+        # normalizing a batch of one zeroes it.
+        self.head = MLP([128, 64, num_classes], rng, batch_norm=False, final_activation=False)
+
+    def forward(
+        self,
+        points: np.ndarray,
+        setting: ApproxSetting = ApproxSetting(),
+        cache_key: Optional[int] = None,
+    ) -> Tensor:
+        """Logits of shape ``(1, num_classes)`` for one cloud."""
+        key = (cache_key, "sa1") if cache_key is not None else None
+        p1, f1 = self.sa1(points, None, setting, cache_key=key)
+        key = (cache_key, "sa2") if cache_key is not None else None
+        p2, f2 = self.sa2(p1, f1, setting, cache_key=key)
+        _, f3 = self.sa3(p2, f2, setting)
+        return self.head(self.dropout(f3))
+
+
+class PointNetPPSegmenter(Module):
+    """PointNet++ (s): SA encoder + FP decoder → per-point logits."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        rng: np.random.Generator,
+        pipeline: Optional[ApproximationPipeline] = None,
+        num_centroids: Tuple[int, int] = (64, 16),
+        radii: Tuple[float, float] = (0.25, 0.5),
+        max_neighbors: int = 8,
+    ):
+        super().__init__()
+        if num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        self.pipeline = pipeline or ApproximationPipeline()
+        self.sa1 = SetAbstraction(
+            num_centroids[0], radii[0], max_neighbors,
+            in_features=0, mlp_widths=(32, 32), pipeline=self.pipeline, rng=rng,
+        )
+        self.sa2 = SetAbstraction(
+            num_centroids[1], radii[1], max_neighbors,
+            in_features=32, mlp_widths=(64, 64), pipeline=self.pipeline, rng=rng,
+        )
+        self.fp2 = FeaturePropagation(64, 32, (64,), rng)  # coarse→sa1 level
+        self.fp1 = FeaturePropagation(64, 0, (32,), rng)  # sa1→input level
+        self.head = MLP([32, 32, num_classes], rng, batch_norm=False, final_activation=False)
+
+    def forward(
+        self,
+        points: np.ndarray,
+        setting: ApproxSetting = ApproxSetting(),
+        cache_key: Optional[int] = None,
+    ) -> Tensor:
+        """Per-point logits of shape ``(N, num_classes)``."""
+        key = (cache_key, "sa1") if cache_key is not None else None
+        p1, f1 = self.sa1(points, None, setting, cache_key=key)
+        key = (cache_key, "sa2") if cache_key is not None else None
+        p2, f2 = self.sa2(p1, f1, setting, cache_key=key)
+        up1 = self.fp2(p1, p2, f2, f1)  # features at sa1 resolution
+        up0 = self.fp1(np.asarray(points, dtype=np.float64), p1, up1, None)
+        return self.head(up0)

@@ -1,0 +1,79 @@
+"""Model registry: the paper's Table 1 as constructable entries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..core.pipeline import ApproximationPipeline
+from ..nn.module import Module
+from .densepoint import DensePointClassifier
+from .fpointnet import FrustumPointNet
+from .pointnetpp import PointNetPPClassifier, PointNetPPSegmenter
+
+__all__ = ["ModelEntry", "MODEL_REGISTRY", "build_model"]
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One row of the paper's Table 1."""
+
+    name: str
+    task: str  # classification | segmentation | detection
+    dataset: str  # the stand-in dataset used in this reproduction
+    paper_dataset: str
+    metric: str
+    builder: Callable[..., Module]
+
+
+def _build_pnpp_c(num_classes: int, rng: np.random.Generator, pipeline: ApproximationPipeline) -> Module:
+    return PointNetPPClassifier(num_classes, rng, pipeline)
+
+
+def _build_pnpp_s(num_classes: int, rng: np.random.Generator, pipeline: ApproximationPipeline) -> Module:
+    return PointNetPPSegmenter(num_classes, rng, pipeline)
+
+
+def _build_densepoint(num_classes: int, rng: np.random.Generator, pipeline: ApproximationPipeline) -> Module:
+    return DensePointClassifier(num_classes, rng, pipeline)
+
+
+def _build_fpointnet(num_classes: int, rng: np.random.Generator, pipeline: ApproximationPipeline) -> Module:
+    return FrustumPointNet(rng, pipeline)
+
+
+MODEL_REGISTRY: Dict[str, ModelEntry] = {
+    "PointNet++ (c)": ModelEntry(
+        "PointNet++ (c)", "classification", "synthetic shapes", "ModelNet40",
+        "overall accuracy", _build_pnpp_c,
+    ),
+    "PointNet++ (s)": ModelEntry(
+        "PointNet++ (s)", "segmentation", "synthetic parts", "ShapeNet",
+        "mIoU", _build_pnpp_s,
+    ),
+    "DensePoint": ModelEntry(
+        "DensePoint", "classification", "synthetic shapes", "ModelNet40",
+        "overall accuracy", _build_densepoint,
+    ),
+    "F-PointNet": ModelEntry(
+        "F-PointNet", "detection", "synthetic LiDAR scenes", "KITTI",
+        "car BEV IoU", _build_fpointnet,
+    ),
+}
+
+
+def build_model(
+    name: str,
+    num_classes: int,
+    seed: int = 0,
+    pipeline: ApproximationPipeline | None = None,
+) -> Module:
+    """Construct a registry model with a seeded generator."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; choices: {sorted(MODEL_REGISTRY)}")
+    rng = np.random.default_rng(seed)
+    return MODEL_REGISTRY[name].builder(
+        num_classes, rng, pipeline or ApproximationPipeline()
+    )

@@ -1,0 +1,30 @@
+"""Minimal deep-learning framework over NumPy (autograd, layers, optimizers)."""
+
+from .tensor import Tensor, no_grad
+from .module import Module, Parameter
+from .layers import MLP, BatchNorm, Dropout, Linear, ReLU, Sequential
+from .losses import huber_loss, log_softmax, mse_loss, softmax_cross_entropy
+from .optim import Adam, SGD
+from .init import kaiming_uniform, xavier_uniform, zeros
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "MLP",
+    "BatchNorm",
+    "Dropout",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "huber_loss",
+    "log_softmax",
+    "mse_loss",
+    "softmax_cross_entropy",
+    "Adam",
+    "SGD",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "zeros",
+]

@@ -1,0 +1,154 @@
+"""Network layers: Linear / shared MLP, BatchNorm, ReLU, Dropout, Sequential.
+
+A "shared MLP" in point cloud networks is a 1×1 convolution — the same
+Linear applied independently to every point (row).  Because our
+:class:`~repro.nn.tensor.Tensor` matmul broadcasts over leading axes, a
+plain :class:`Linear` already is a shared MLP for inputs shaped
+``(..., C_in)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .init import kaiming_uniform
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "BatchNorm", "ReLU", "Dropout", "Sequential", "MLP"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` over the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature sizes must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_uniform(rng, in_features, out_features))
+        self.bias = Parameter(np.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        return x @ self.weight + self.bias
+
+
+class BatchNorm(Module):
+    """Batch normalization over all axes except the last (features).
+
+    Running statistics are tracked in training mode and used at eval time,
+    as in standard DNN training.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.num_features:
+            raise ValueError(
+                f"expected last dim {self.num_features}, got {x.shape[-1]}"
+            )
+        axes = tuple(range(x.ndim - 1))
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean
+                + self.momentum * mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var
+                + self.momentum * var.data.reshape(-1)
+            )
+            inv_std = (var + self.eps) ** -0.5
+            normalized = centered * inv_std
+        else:
+            normalized = (x - self.running_mean) * (
+                1.0 / np.sqrt(self.running_var + self.eps)
+            )
+        return normalized * self.gamma + self.beta
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Dropout(Module):
+    """Inverted dropout; identity at eval time.
+
+    Uses an explicit generator so training runs are reproducible.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("p must be in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self.rng.uniform(size=x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+def MLP(
+    channels: Sequence[int],
+    rng: np.random.Generator,
+    batch_norm: bool = True,
+    final_activation: bool = True,
+) -> Sequential:
+    """Build a shared MLP ``channels[0] → ... → channels[-1]``.
+
+    Each stage is Linear (+ BatchNorm) + ReLU; the trailing activation and
+    norm can be dropped for logit heads.
+    """
+    if len(channels) < 2:
+        raise ValueError("need at least input and output widths")
+    layers: List[Module] = []
+    for i, (c_in, c_out) in enumerate(zip(channels, channels[1:])):
+        last = i == len(channels) - 2
+        layers.append(Linear(c_in, c_out, rng))
+        if not last or final_activation:
+            if batch_norm:
+                layers.append(BatchNorm(c_out))
+            layers.append(ReLU())
+    return Sequential(*layers)

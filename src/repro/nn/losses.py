@@ -1,0 +1,59 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["softmax_cross_entropy", "log_softmax", "mse_loss", "huber_loss"]
+
+
+def log_softmax(logits: Tensor) -> Tensor:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - Tensor(logits.data.max(axis=-1, keepdims=True))
+    return shifted - shifted.exp().sum(axis=-1, keepdims=True).log()
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits (..., C)`` and integer labels.
+
+    Works for both classification ``(B, C)`` and per-point segmentation
+    ``(B, N, C)`` shapes; labels must have the logits' leading shape.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != logits.shape[:-1]:
+        raise ValueError(
+            f"labels shape {labels.shape} must match logits leading shape "
+            f"{logits.shape[:-1]}"
+        )
+    logp = log_softmax(logits)
+    num_classes = logits.shape[-1]
+    onehot = np.eye(num_classes)[labels.reshape(-1)].reshape(*labels.shape, num_classes)
+    picked = (logp * Tensor(onehot)).sum(axis=-1)
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def huber_loss(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
+    """Smooth-L1 loss, the standard choice for box regression heads.
+
+    Implemented with differentiable primitives: quadratic inside ``delta``,
+    linear outside, blended by a constant mask (the mask depends only on
+    the forward values, matching the piecewise definition's gradient).
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    target = np.asarray(target, dtype=np.float64)
+    diff = pred - Tensor(target)
+    abs_diff = np.abs(pred.data - target)
+    quadratic_mask = (abs_diff <= delta).astype(np.float64)
+    sign = np.sign(pred.data - target)
+    quad = diff * diff * 0.5
+    lin = diff * Tensor(sign * delta) - 0.5 * delta * delta
+    return (quad * Tensor(quadratic_mask) + lin * Tensor(1.0 - quadratic_mask)).mean()

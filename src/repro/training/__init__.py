@@ -1,0 +1,23 @@
+"""Approximation-aware training: samplers, trainers, metrics."""
+
+from .metrics import detection_iou_geomean, mean_iou, overall_accuracy
+from .sampling import FixedSetting, MixedSetting, SettingSampler
+from .trainer import (
+    ClassificationTrainer,
+    DetectionTrainer,
+    SegmentationTrainer,
+    TrainReport,
+)
+
+__all__ = [
+    "detection_iou_geomean",
+    "mean_iou",
+    "overall_accuracy",
+    "FixedSetting",
+    "MixedSetting",
+    "SettingSampler",
+    "ClassificationTrainer",
+    "DetectionTrainer",
+    "SegmentationTrainer",
+    "TrainReport",
+]

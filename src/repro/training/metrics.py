@@ -1,0 +1,65 @@
+"""Task metrics: overall accuracy, mIoU, detection BEV IoU.
+
+These are the three metrics of the paper's Table 1: overall accuracy for
+classification (ModelNet40), mean intersection-over-union for part
+segmentation (ShapeNet), and the geometric mean of car-class BEV IoU for
+detection (KITTI).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry.scenes import Box3D, box_iou_bev
+
+__all__ = ["overall_accuracy", "mean_iou", "detection_iou_geomean"]
+
+
+def overall_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of zero predictions")
+    return float((predictions == labels).mean())
+
+
+def mean_iou(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> float:
+    """Mean per-class IoU over classes present in predictions or labels."""
+    predictions = np.asarray(predictions).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    ious = []
+    for c in range(num_classes):
+        pred_c = predictions == c
+        true_c = labels == c
+        union = (pred_c | true_c).sum()
+        if union == 0:
+            continue  # class absent everywhere: skip, as in ShapeNet eval
+        ious.append((pred_c & true_c).sum() / union)
+    if not ious:
+        raise ValueError("no classes present")
+    return float(np.mean(ious))
+
+
+def detection_iou_geomean(
+    predicted: Sequence[Box3D], ground_truth: Sequence[Box3D]
+) -> float:
+    """Geometric mean of per-detection BEV IoU (paper's car-class metric).
+
+    Zero-IoU detections are floored at a small epsilon so a single miss
+    does not zero the whole geometric mean.
+    """
+    if len(predicted) != len(ground_truth) or not predicted:
+        raise ValueError("need equal, non-empty box lists")
+    ious = np.array(
+        [max(box_iou_bev(p, g), 1e-3) for p, g in zip(predicted, ground_truth)]
+    )
+    return float(np.exp(np.log(ious).mean()))

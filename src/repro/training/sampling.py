@@ -1,0 +1,63 @@
+"""Approximation-setting samplers for training (paper Sec. 5).
+
+Conventional training samples the input distribution; Crescent's training
+additionally samples the *approximation-knob* distribution so one set of
+weights serves every inference-time setting.  Two samplers cover the
+paper's study (Fig. 20):
+
+* :class:`FixedSetting` — a dedicated model trained for one ``h``.
+* :class:`MixedSetting` — ``h`` drawn uniformly per input from a range,
+  yielding the "Mixed" model that adapts across settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.config import ApproxSetting
+
+__all__ = ["SettingSampler", "FixedSetting", "MixedSetting"]
+
+
+class SettingSampler:
+    """Interface: produce an :class:`ApproxSetting` for each training input."""
+
+    def sample(self, rng: np.random.Generator) -> ApproxSetting:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedSetting(SettingSampler):
+    """Always the same setting (dedicated-model training)."""
+
+    setting: ApproxSetting
+
+    def sample(self, rng: np.random.Generator) -> ApproxSetting:
+        return self.setting
+
+
+@dataclass(frozen=True)
+class MixedSetting(SettingSampler):
+    """Uniform over top heights (and optionally elision heights) per input.
+
+    ``top_heights`` and ``elision_heights`` are the discrete menus sampled
+    from; ``elision_heights=None`` trains ANS-only models.
+    """
+
+    top_heights: Sequence[int]
+    elision_heights: Optional[Sequence[Optional[int]]] = None
+
+    def __post_init__(self) -> None:
+        if not self.top_heights:
+            raise ValueError("top_heights must be non-empty")
+
+    def sample(self, rng: np.random.Generator) -> ApproxSetting:
+        ht = int(rng.choice(list(self.top_heights)))
+        he: Optional[int] = None
+        if self.elision_heights:
+            choice = self.elision_heights[rng.integers(len(self.elision_heights))]
+            he = None if choice is None else int(choice)
+        return ApproxSetting(ht, he)

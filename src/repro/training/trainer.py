@@ -1,0 +1,218 @@
+"""Approximation-aware training loops (paper Sec. 5, Fig. 11).
+
+The trainer is generic over the three tasks via small adapters; what makes
+it *approximation-aware* is two lines: a :class:`SettingSampler` draws an
+``h = <h_t, h_e>`` per training input, and the model's forward pass runs
+its neighbor pipeline under that ``h`` (bank conflicts included, through
+:class:`~repro.core.pipeline.ApproximationPipeline`).  Neighbor search and
+aggregation construct MLP inputs and carry no gradient, exactly as in the
+paper, so end-to-end differentiability is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import ApproxSetting
+from ..geometry.datasets import (
+    LidarDetectionDataset,
+    PartSegmentationDataset,
+    ShapeClassificationDataset,
+)
+from ..geometry.scenes import Box3D, LidarScene
+from ..models.fpointnet import CAR_ANCHOR, FrustumPointNet, frustum_crop
+from ..nn.losses import huber_loss, softmax_cross_entropy
+from ..nn.module import Module
+from ..nn.optim import Adam
+from ..nn.tensor import no_grad
+from .metrics import detection_iou_geomean, mean_iou, overall_accuracy
+from .sampling import FixedSetting, SettingSampler
+
+__all__ = [
+    "TrainReport",
+    "ClassificationTrainer",
+    "SegmentationTrainer",
+    "DetectionTrainer",
+]
+
+
+@dataclass
+class TrainReport:
+    epoch_losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class _BaseTrainer:
+    def __init__(
+        self,
+        model: Module,
+        sampler: SettingSampler = FixedSetting(ApproxSetting()),
+        lr: float = 5e-3,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.sampler = sampler
+        self.optimizer = Adam(model.parameters(), lr=lr)
+        self.rng = np.random.default_rng(seed)
+
+    def _loss(self, sample, setting: ApproxSetting, cache_key: int):
+        raise NotImplementedError
+
+    def _dataset_items(self, dataset):
+        return [(i, dataset[i]) for i in range(len(dataset))]
+
+    def train(self, dataset, epochs: int = 5) -> TrainReport:
+        """Run ``epochs`` passes; samples a fresh ``h`` per input."""
+        report = TrainReport()
+        items = self._dataset_items(dataset)
+        self.model.train()
+        for _ in range(epochs):
+            order = self.rng.permutation(len(items))
+            losses = []
+            for pos in order:
+                idx, sample = items[pos]
+                setting = self.sampler.sample(self.rng)
+                self.optimizer.zero_grad()
+                loss = self._loss(sample, setting, cache_key=idx)
+                loss.backward()
+                self.optimizer.step()
+                losses.append(loss.item())
+            report.epoch_losses.append(float(np.mean(losses)))
+        return report
+
+
+class ClassificationTrainer(_BaseTrainer):
+    """Trains classifiers on :class:`ShapeClassificationDataset`."""
+
+    def _loss(self, sample, setting, cache_key):
+        cloud, label = sample
+        logits = self.model(cloud.points, setting, cache_key=cache_key)
+        return softmax_cross_entropy(logits, np.array([label]))
+
+    def evaluate(
+        self, dataset: ShapeClassificationDataset, setting: ApproxSetting
+    ) -> float:
+        """Overall accuracy under a fixed inference-time setting."""
+        self.model.eval()
+        preds, labels = [], []
+        with no_grad():
+            for i in range(len(dataset)):
+                cloud, label = dataset[i]
+                logits = self.model(cloud.points, setting, cache_key=("eval", i))
+                preds.append(int(logits.data.argmax()))
+                labels.append(label)
+        self.model.train()
+        return overall_accuracy(np.array(preds), np.array(labels))
+
+
+class SegmentationTrainer(_BaseTrainer):
+    """Trains per-point segmenters on :class:`PartSegmentationDataset`."""
+
+    def __init__(self, model, num_classes: int, **kwargs):
+        super().__init__(model, **kwargs)
+        self.num_classes = num_classes
+
+    def _loss(self, sample, setting, cache_key):
+        cloud = sample
+        logits = self.model(cloud.points, setting, cache_key=cache_key)
+        return softmax_cross_entropy(logits, cloud.labels)
+
+    def evaluate(
+        self, dataset: PartSegmentationDataset, setting: ApproxSetting
+    ) -> float:
+        """mIoU under a fixed inference-time setting.
+
+        Follows the ShapeNet evaluation protocol: the object category is
+        known at test time, so predictions are restricted (argmax) to the
+        category's own part labels.
+        """
+        from ..geometry.partseg import PART_CATEGORIES, part_id
+
+        self.model.eval()
+        all_preds, all_labels = [], []
+        with no_grad():
+            for i in range(len(dataset)):
+                cloud = dataset[i]
+                logits = self.model(cloud.points, setting, cache_key=("eval", i))
+                category = cloud.attrs.get("category")
+                if category in PART_CATEGORIES:
+                    allowed = np.array(
+                        [part_id(p) for p in PART_CATEGORIES[category]]
+                    )
+                    restricted = logits.data[:, allowed]
+                    preds = allowed[restricted.argmax(axis=-1)]
+                else:
+                    preds = logits.data.argmax(axis=-1)
+                all_preds.append(preds)
+                all_labels.append(cloud.labels)
+        self.model.train()
+        return mean_iou(
+            np.concatenate(all_preds), np.concatenate(all_labels), self.num_classes
+        )
+
+
+class DetectionTrainer(_BaseTrainer):
+    """Trains :class:`FrustumPointNet` on LiDAR scenes.
+
+    Each scene contributes one frustum sample per ground-truth box: the
+    frustum crop around the box bearing, per-point object labels, and the
+    box-regression target (center offset from the labelled-point centroid,
+    log-size residuals against the car anchor, yaw sin/cos).
+    """
+
+    def __init__(self, model: FrustumPointNet, frustum_points: int = 192, **kwargs):
+        super().__init__(model, **kwargs)
+        self.frustum_points = frustum_points
+
+    def _frustum_sample(self, scene: LidarScene, box: Box3D, seed: int):
+        crop = frustum_crop(
+            scene.cloud.points,
+            box.center[:2],
+            max_points=self.frustum_points,
+            rng=np.random.default_rng(seed),
+        )
+        labels = box.contains(crop).astype(np.int64)
+        return crop, labels
+
+    @staticmethod
+    def _box_target(crop: np.ndarray, labels: np.ndarray, box: Box3D) -> np.ndarray:
+        inside = crop[labels.astype(bool)]
+        base = inside.mean(axis=0) if len(inside) else crop.mean(axis=0)
+        return np.concatenate(
+            [
+                box.center - base,
+                np.log(box.size / CAR_ANCHOR),
+                [np.sin(box.yaw), np.cos(box.yaw)],
+            ]
+        )
+
+    def _loss(self, sample, setting, cache_key):
+        scene = sample
+        box = scene.boxes[0]
+        crop, labels = self._frustum_sample(scene, box, seed=cache_key)
+        pred = self.model(crop, setting, cache_key=cache_key)
+        seg_loss = softmax_cross_entropy(pred.segmentation_logits, labels)
+        target = self._box_target(crop, labels, box)
+        box_loss = huber_loss(pred.box_params, target[None, :])
+        return seg_loss + 2.0 * box_loss
+
+    def evaluate(self, dataset: LidarDetectionDataset, setting: ApproxSetting) -> float:
+        """Geometric-mean BEV IoU on the first box of each scene."""
+        self.model.eval()
+        predicted, truth = [], []
+        with no_grad():
+            for i in range(len(dataset)):
+                scene = dataset[i]
+                box = scene.boxes[0]
+                crop, _ = self._frustum_sample(scene, box, seed=10_000 + i)
+                pred = self.model(crop, setting, cache_key=("eval", i))
+                predicted.append(pred.decode(crop))
+                truth.append(box)
+        self.model.train()
+        return detection_iou_geomean(predicted, truth)

@@ -1,0 +1,130 @@
+"""Tests for the search engine, aggregation unit, and exhaustive baseline."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    AggregationUnit,
+    ExhaustiveSplitSearchEngine,
+    NeighborSearchEngine,
+    evaluation_hardware,
+)
+from repro.core import ApproxSetting, CrescentHardwareConfig
+from repro.kdtree import ball_query, build_kdtree
+
+
+def problem(n=512, m=64, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 3))
+    queries = pts[rng.choice(n, m, replace=False)]
+    return pts, queries, build_kdtree(pts)
+
+
+class TestNeighborSearchEngine:
+    def test_exact_setting_matches_ball_query(self):
+        pts, queries, tree = problem()
+        engine = NeighborSearchEngine()
+        idx, cnt, res = engine.run(tree, queries, 0.5, 8, ApproxSetting(0, None))
+        want_idx, want_cnt = ball_query(tree, queries, 0.5, 8)
+        assert np.array_equal(cnt, want_cnt)
+
+    def test_cycles_positive_and_decomposed(self):
+        pts, queries, tree = problem(seed=1)
+        engine = NeighborSearchEngine()
+        _, _, res = engine.run(tree, queries, 0.5, 8, ApproxSetting(3, 5))
+        assert res.cycles >= max(res.compute_cycles, res.dram_cycles) - 1
+        assert res.compute_cycles == res.top_phase_cycles + res.sub_phase_cycles
+        assert res.top_phase_cycles > 0
+
+    def test_dram_fully_streaming(self):
+        pts, queries, tree = problem(seed=2)
+        engine = NeighborSearchEngine()
+        _, _, res = engine.run(tree, queries, 0.5, 8, ApproxSetting(3, None))
+        assert res.dram.random_bytes == 0
+        assert res.dram.streaming_bytes > 0
+
+    def test_approximation_reduces_cycles(self):
+        pts, queries, tree = problem(n=2048, m=256, seed=3)
+        engine = NeighborSearchEngine()
+        _, _, exact = engine.run(tree, queries, 0.4, 16, ApproxSetting(0, None))
+        _, _, approx = engine.run(tree, queries, 0.4, 16, ApproxSetting(4, 6))
+        assert approx.compute_cycles < exact.compute_cycles
+
+    def test_energy_components_present(self):
+        pts, queries, tree = problem(seed=4)
+        engine = NeighborSearchEngine()
+        _, _, res = engine.run(tree, queries, 0.5, 8, ApproxSetting(2, None))
+        for key in ("dram_streaming", "sram_search", "search_datapath"):
+            assert res.energy.components.get(key, 0) > 0
+
+
+class TestAggregationUnit:
+    def test_elide_faster_than_stall(self):
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 512, size=(128, 16))
+        unit = AggregationUnit()
+        stall = unit.run(indices, num_points=512, elide=False)
+        elide = unit.run(indices, num_points=512, elide=True)
+        assert elide.cycles < stall.cycles
+        assert np.array_equal(stall.effective_indices, indices)
+        assert not np.array_equal(elide.effective_indices, indices)
+
+    def test_elide_replaces_within_row(self):
+        rng = np.random.default_rng(1)
+        indices = rng.integers(0, 512, size=(64, 16))
+        res = AggregationUnit().run(indices, num_points=512, elide=True)
+        for i in range(64):
+            assert set(res.effective_indices[i]) <= set(indices[i])
+
+    def test_stall_counts_conflicts(self):
+        indices = np.full((10, 16), 3)  # all same bank
+        res = AggregationUnit().run(indices, num_points=100, elide=False)
+        assert res.sram.conflicted == 10 * 15
+        assert res.cycles == 10 * 16  # fully serialized
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            AggregationUnit().run(np.zeros(4, dtype=int), 10, elide=False)
+
+    def test_dram_streams_points_once(self):
+        indices = np.zeros((4, 8), dtype=int)
+        res = AggregationUnit().run(indices, num_points=100, elide=True)
+        assert res.dram.streaming_bytes == 100 * 16
+
+
+class TestExhaustiveEngine:
+    def test_finds_all_in_subtree_neighbors(self):
+        pts, queries, tree = problem(n=256, m=32, seed=5)
+        engine = ExhaustiveSplitSearchEngine()
+        idx, cnt, res = engine.run(tree, queries, 0.5, 16, ApproxSetting(0, None))
+        # Exhaustive sub-tree search is at least as complete as Crescent's
+        # K-d sub-tree search under the same split.
+        assert (cnt > 0).any()
+        assert res.report.traversal.nodes_visited > 0
+
+    def test_visits_more_nodes_than_crescent(self):
+        pts, queries, tree = problem(n=2048, m=256, seed=6)
+        ex = ExhaustiveSplitSearchEngine()
+        cres = NeighborSearchEngine()
+        _, _, ex_res = ex.run(tree, queries, 0.4, 16, ApproxSetting(0, None))
+        _, _, cres_res = cres.run(tree, queries, 0.4, 16, ApproxSetting(4, None))
+        assert (
+            ex_res.report.traversal.nodes_visited
+            > cres_res.report.traversal.nodes_visited
+        )
+
+    def test_reload_increases_dram(self):
+        hw = evaluation_hardware()
+        pts, queries, tree = problem(n=2048, m=2048, seed=7)
+        reload_engine = ExhaustiveSplitSearchEngine(hw, reload_on_full_queue=True)
+        staged_engine = ExhaustiveSplitSearchEngine(hw, reload_on_full_queue=False)
+        _, _, with_reload = reload_engine.run(tree, queries, 0.4, 16, ApproxSetting())
+        _, _, staged = staged_engine.run(tree, queries, 0.4, 16, ApproxSetting())
+        assert with_reload.dram.total_bytes > staged.dram.total_bytes
+
+    def test_results_deterministic(self):
+        pts, queries, tree = problem(seed=8)
+        engine = ExhaustiveSplitSearchEngine()
+        a = engine.run(tree, queries, 0.5, 8, ApproxSetting())
+        b = engine.run(tree, queries, 0.5, 8, ApproxSetting())
+        assert np.array_equal(a[0], b[0])

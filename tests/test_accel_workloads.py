@@ -1,0 +1,61 @@
+"""Tests for the evaluation workload specs and scaled hardware config."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    QUERY_BYTES,
+    evaluation_hardware,
+    evaluation_networks,
+    workload_points,
+)
+from repro.core import CrescentHardwareConfig
+
+
+class TestWorkloadSpecs:
+    def test_layer_chains_are_feasible(self):
+        # Each layer samples its queries from the previous layer's output,
+        # so query counts must be non-increasing along the chain and fit
+        # the input cloud.
+        for name, spec in evaluation_networks().items():
+            n_points = len(workload_points(name))
+            previous = n_points
+            for layer in spec.layers:
+                assert layer.num_queries <= previous, (name, layer.name)
+                previous = layer.num_queries
+
+    def test_points_are_finite_and_3d(self):
+        for name in evaluation_networks():
+            pts = workload_points(name)
+            assert pts.ndim == 2 and pts.shape[1] == 3
+            assert np.isfinite(pts).all()
+
+    def test_points_deterministic_per_seed(self):
+        a = workload_points("DensePoint", seed=1)
+        b = workload_points("DensePoint", seed=1)
+        c = workload_points("DensePoint", seed=2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_fpointnet_uses_scene_scale(self):
+        scene = workload_points("F-PointNet")
+        shape = workload_points("PointNet++ (c)")
+        # LiDAR scenes span tens of meters; shapes live in the unit ball.
+        assert np.abs(scene).max() > 10 * np.abs(shape).max()
+
+
+class TestEvaluationHardware:
+    def test_only_query_buffer_differs_from_paper(self):
+        hw = evaluation_hardware()
+        paper = CrescentHardwareConfig()
+        assert hw.num_pes == paper.num_pes
+        assert hw.tree_buffer == paper.tree_buffer
+        assert hw.point_buffer == paper.point_buffer
+        assert hw.query_buffer.size_bytes < paper.query_buffer.size_bytes
+
+    def test_query_buffer_capacity_in_reload_regime(self):
+        hw = evaluation_hardware()
+        capacity = hw.query_buffer.size_bytes // QUERY_BYTES
+        # Sub-tree queues at our workload scale are ~16-64 queries; the
+        # buffer must be small enough that reloads actually happen.
+        assert 4 <= capacity <= 16

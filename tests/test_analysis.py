@@ -1,0 +1,101 @@
+"""Tests for the analysis drivers and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.accel import evaluation_hardware, evaluation_networks, workload_points
+from repro.analysis import (
+    energy_saving_contributions,
+    format_series,
+    format_table,
+    knob_performance_sweep,
+    nodes_skipped_vs_elision_height,
+    nodes_visited_vs_top_height,
+    nonstreaming_fraction,
+    run_evaluation_suite,
+    search_conflict_rate_vs_banks,
+)
+from repro.core import ApproxSetting
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table("T", ["a", "bbbb"], [[1, 2.5], ["xx", 3]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bbbb" in lines[2]
+        assert "2.500" in out
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table("T", ["a"], [[1, 2]])
+
+    def test_format_series(self):
+        out = format_series("S", [1, 2], [0.5, 0.25])
+        assert "0.500" in out and "0.250" in out
+
+
+class TestCharacterization:
+    def test_nonstreaming_high_on_small_workload(self):
+        frac = nonstreaming_fraction("PointNet++ (c)", num_parallel=4)
+        assert frac > 0.9
+
+    def test_conflict_rate_monotone(self):
+        rates = search_conflict_rate_vs_banks(
+            (2, 8), num_points=512, num_queries=64
+        )
+        assert rates[2] >= rates[8]
+
+
+class TestTradeoff:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.points = rng.normal(size=(512, 3))
+        self.queries = self.points[:64]
+
+    def test_visits_normalized_and_monotone(self):
+        result = nodes_visited_vs_top_height(
+            self.points, self.queries, 0.4, 16, (0, 2, 4)
+        )
+        assert result[0] == 1.0
+        assert result[0] >= result[2] >= result[4]
+
+    def test_skips_normalized(self):
+        result = nodes_skipped_vs_elision_height(
+            self.points, self.queries, 0.4, 16, top_height=2,
+            elision_heights=(3, 6),
+        )
+        assert max(result.values()) == 1.0
+        assert result[3] >= result[6]
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_evaluation_suite()
+
+
+class TestComparison:
+    def test_suite_covers_table1(self, suite):
+        assert set(suite) == set(evaluation_networks())
+
+    def test_speedups_positive(self, suite):
+        for r in suite.values():
+            assert r.speedup_ans > 1.0
+            assert r.speedup_bce > 1.0
+
+    def test_energy_contributions_normalized(self, suite):
+        for r in suite.values():
+            c = energy_saving_contributions(r)
+            assert abs(sum(c.values()) - 1.0) < 1e-6
+            assert all(v >= 0 for v in c.values())
+
+    def test_knob_sweep_keys(self):
+        spec = evaluation_networks()["PointNet++ (c)"]
+        pts = workload_points("PointNet++ (c)")
+        settings = [ApproxSetting(2, None), ApproxSetting(4, 8)]
+        sweep = knob_performance_sweep(
+            spec, pts, settings, hw=evaluation_hardware()
+        )
+        assert set(sweep) == {(2, None), (4, 8)}
+        for speedup, energy in sweep.values():
+            assert speedup > 0 and energy > 0

@@ -1,0 +1,24 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.analysis.cli import FIGURES, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "available figures" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["--figures", "99"]) == 2
+
+    def test_single_figure_runs(self, capsys):
+        assert main(["--figures", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+
+    def test_every_figure_has_a_driver(self):
+        for fig, fn in FIGURES.items():
+            assert callable(fn), fig

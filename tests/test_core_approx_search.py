@@ -1,0 +1,183 @@
+"""Tests for the approximate neighbor search (ANS) and its lockstep sim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ApproxSetting, TreeBufferBanking, approximate_ball_query
+from repro.kdtree import ball_query, build_kdtree
+
+
+def make_problem(n=200, m=20, seed=0):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 3))
+    queries = rng.normal(size=(m, 3))
+    return points, queries, build_kdtree(points)
+
+
+class TestExactEquivalence:
+    def test_baseline_setting_matches_exact(self):
+        points, queries, tree = make_problem()
+        exact_idx, exact_cnt = ball_query(tree, queries, 0.5, 8)
+        idx, cnt, report = approximate_ball_query(
+            tree, queries, 0.5, 8, ApproxSetting(0, None)
+        )
+        assert np.array_equal(cnt, exact_cnt)
+        for i in range(len(queries)):
+            k = cnt[i]
+            assert set(idx[i, :k]) == set(exact_idx[i, :k])
+
+    def test_baseline_no_skips(self):
+        points, queries, tree = make_problem(seed=1)
+        _, _, report = approximate_ball_query(
+            tree, queries, 0.5, 8, ApproxSetting(0, None)
+        )
+        assert report.nodes_skipped == 0
+        assert report.subtrees_loaded == 1
+
+
+class TestSplitTreeApproximation:
+    def test_results_are_subset_of_exact(self):
+        points, queries, tree = make_problem(seed=2)
+        exact_idx, exact_cnt = ball_query(tree, queries, 0.6, 16)
+        idx, cnt, _ = approximate_ball_query(
+            tree, queries, 0.6, 16, ApproxSetting(3, None)
+        )
+        for i in range(len(queries)):
+            exact_set = set(exact_idx[i, : exact_cnt[i]])
+            approx_set = set(idx[i, : cnt[i]])
+            assert approx_set <= exact_set
+            assert cnt[i] <= exact_cnt[i]
+
+    def test_taller_top_tree_visits_fewer_nodes(self):
+        points, queries, tree = make_problem(n=500, m=40, seed=3)
+        visits = []
+        for ht in (0, 2, 4, 6):
+            _, _, report = approximate_ball_query(
+                tree, queries, 0.7, 16, ApproxSetting(ht, None)
+            )
+            visits.append(report.nodes_visited)
+        # Larger h_t restricts backtracking: node visits must not grow.
+        assert all(a >= b for a, b in zip(visits, visits[1:]))
+
+    def test_queue_occupancy_recorded(self):
+        points, queries, tree = make_problem(seed=4)
+        _, _, report = approximate_ball_query(
+            tree, queries, 0.5, 8, ApproxSetting(2, None)
+        )
+        assert sum(report.queue_occupancy.values()) == len(queries)
+        assert report.subtrees_loaded == len(report.queue_occupancy)
+
+    def test_every_row_padded_and_valid(self):
+        points, queries, tree = make_problem(seed=5)
+        idx, cnt, _ = approximate_ball_query(
+            tree, queries, 0.3, 8, ApproxSetting(4, None)
+        )
+        assert idx.shape == (len(queries), 8)
+        assert (idx >= 0).all() and (idx < len(points)).all()
+
+    def test_setting_scaled_to_short_tree(self):
+        points = np.random.default_rng(6).normal(size=(7, 3))
+        tree = build_kdtree(points)  # height 3
+        idx, cnt, _ = approximate_ball_query(
+            tree, points[:3], 0.5, 4, ApproxSetting(10, 20)
+        )
+        assert idx.shape == (3, 4)
+
+
+class TestElision:
+    def test_elision_skips_nodes(self):
+        points, queries, tree = make_problem(n=500, m=64, seed=7)
+        _, _, no_elide = approximate_ball_query(
+            tree, queries, 0.7, 16, ApproxSetting(2, None)
+        )
+        _, _, elide = approximate_ball_query(
+            tree, queries, 0.7, 16, ApproxSetting(2, 3), num_pes=4
+        )
+        assert no_elide.nodes_skipped == 0
+        assert elide.nodes_skipped > 0
+        assert elide.nodes_visited < no_elide.nodes_visited
+
+    def test_lower_elision_height_skips_more(self):
+        points, queries, tree = make_problem(n=500, m=64, seed=8)
+        skips = []
+        for he in (3, 5, 7, 9):
+            _, _, report = approximate_ball_query(
+                tree, queries, 0.7, 16, ApproxSetting(2, he), num_pes=4
+            )
+            skips.append(report.nodes_skipped)
+        assert all(a >= b for a, b in zip(skips, skips[1:]))
+
+    def test_elision_results_subset_of_ans(self):
+        points, queries, tree = make_problem(n=300, m=32, seed=9)
+        idx_a, cnt_a, _ = approximate_ball_query(
+            tree, queries, 0.6, 16, ApproxSetting(2, None)
+        )
+        idx_e, cnt_e, _ = approximate_ball_query(
+            tree, queries, 0.6, 16, ApproxSetting(2, 4), num_pes=4
+        )
+        for i in range(len(queries)):
+            assert set(idx_e[i, : cnt_e[i]]) <= set(idx_a[i, : cnt_a[i]])
+
+    def test_elision_records_conflicts(self):
+        points, queries, tree = make_problem(n=500, m=64, seed=10)
+        _, _, report = approximate_ball_query(
+            tree, queries, 0.7, 16, ApproxSetting(2, 4), num_pes=4
+        )
+        assert report.tree_sram.accesses > 0
+        assert report.tree_sram.conflicted > 0
+        assert report.tree_sram.elided <= report.tree_sram.conflicted
+        assert report.lockstep_cycles > 0
+
+    def test_single_pe_never_conflicts(self):
+        points, queries, tree = make_problem(n=300, m=32, seed=11)
+        _, _, report = approximate_ball_query(
+            tree, queries, 0.6, 8, ApproxSetting(2, 3), num_pes=1
+        )
+        assert report.tree_sram.conflicted == 0
+        assert report.nodes_skipped == 0
+
+    def test_more_banks_fewer_skips(self):
+        points, queries, tree = make_problem(n=500, m=64, seed=12)
+        skips = []
+        for banks in (1, 2, 4, 8):
+            _, _, report = approximate_ball_query(
+                tree, queries, 0.7, 16, ApproxSetting(2, 3),
+                banking=TreeBufferBanking(banks), num_pes=8,
+            )
+            skips.append(report.nodes_skipped)
+        assert skips[0] >= skips[-1]
+
+    def test_deterministic(self):
+        points, queries, tree = make_problem(seed=13)
+        a = approximate_ball_query(tree, queries, 0.5, 8, ApproxSetting(2, 3))
+        b = approximate_ball_query(tree, queries, 0.5, 8, ApproxSetting(2, 3))
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_rejects_bad_max_neighbors(self):
+        points, queries, tree = make_problem()
+        with pytest.raises(ValueError):
+            approximate_ball_query(tree, queries, 0.5, 0, ApproxSetting())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    ht=st.integers(min_value=0, max_value=4),
+)
+def test_property_approx_is_sound(seed, ht):
+    """Approximate search never invents neighbors: every reported hit is a
+    true radius neighbor, under any setting."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(100, 3))
+    queries = rng.normal(size=(10, 3))
+    tree = build_kdtree(points)
+    idx, cnt, _ = approximate_ball_query(
+        tree, queries, 0.5, 8, ApproxSetting(ht, 3), num_pes=4
+    )
+    for i in range(10):
+        for j in range(cnt[i]):
+            d = np.linalg.norm(points[idx[i, j]] - queries[i])
+            assert d <= 0.5 + 1e-9

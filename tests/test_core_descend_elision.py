@@ -1,0 +1,110 @@
+"""Tests for the descend-on-conflict elision policy (paper Sec. 4.2's
+future-work optimization) and the ancestor machinery behind it."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxSetting, TreeBufferBanking
+from repro.core.approx_search import run_subtree_lockstep
+from repro.kdtree import SubtreeSearch, build_kdtree
+from repro.memsim import SramStats
+
+
+def tree_of(n=255, seed=0):
+    return build_kdtree(np.random.default_rng(seed).normal(size=(n, 3)))
+
+
+class TestIsDescendant:
+    def test_self_is_descendant(self):
+        tree = tree_of(31)
+        assert tree.is_descendant(5, 5)
+
+    def test_children_are_descendants(self):
+        tree = tree_of(31)
+        l, r = tree.children(0)
+        assert tree.is_descendant(l, 0)
+        assert tree.is_descendant(r, 0)
+        assert not tree.is_descendant(0, l)
+
+    def test_siblings_are_not(self):
+        tree = tree_of(31)
+        l, r = tree.children(0)
+        assert not tree.is_descendant(l, r)
+        assert not tree.is_descendant(r, l)
+
+    def test_matches_subtree_nodes(self):
+        tree = tree_of(63, seed=1)
+        for root in (0, 1, 2, 5):
+            members = set(tree.subtree_nodes(root).tolist())
+            for node in range(tree.num_nodes):
+                assert tree.is_descendant(node, root) == (node in members)
+
+
+class TestSubstituteAdvance:
+    def test_substitute_continues_search(self):
+        tree = tree_of(127, seed=2)
+        q = tree.points[0]
+        machine = SubtreeSearch(tree, q, 10.0, root=0, elide_depth=0)
+        node = machine.peek()
+        child = tree.children(node)[0]
+        machine.advance(elide=True, substitute=child)
+        assert machine.peek() == child  # traversal continues from the child
+
+    def test_substitute_same_node_is_normal_visit(self):
+        tree = tree_of(63, seed=3)
+        machine = SubtreeSearch(tree, tree.points[0], 10.0, root=0, elide_depth=0)
+        node = machine.peek()
+        machine.advance(elide=True, substitute=node)
+        assert machine.stats.nodes_visited == 1
+        assert machine.stats.nodes_skipped == 0
+
+    def test_substitute_must_be_descendant(self):
+        tree = tree_of(63, seed=4)
+        machine = SubtreeSearch(tree, tree.points[0], 10.0, root=0, elide_depth=0)
+        node = machine.peek()
+        l, r = tree.children(node)
+        machine.advance()  # visit root; stack now holds children
+        top = machine.peek()
+        sibling = r if top == l else l
+        with pytest.raises(RuntimeError):
+            machine.advance(elide=True, substitute=sibling)
+
+    def test_skip_counts_fewer_with_substitute(self):
+        tree = tree_of(127, seed=5)
+        a = SubtreeSearch(tree, tree.points[0], 10.0, root=0, elide_depth=0)
+        b = SubtreeSearch(tree, tree.points[0], 10.0, root=0, elide_depth=0)
+        node = a.peek()
+        child = tree.children(node)[0]
+        a.advance(elide=True)  # full skip
+        b.advance(elide=True, substitute=child)  # partial skip
+        assert b.stats.nodes_skipped < a.stats.nodes_skipped
+
+
+class TestDescendPolicyLockstep:
+    def _run(self, policy, seed=6):
+        tree = tree_of(511, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        queries = tree.points[rng.choice(len(tree.points), 64, replace=False)]
+        machines = [
+            SubtreeSearch(tree, q, 0.6, root=0, max_neighbors=16, elide_depth=2)
+            for q in queries
+        ]
+        slot_map = {int(n): i for i, n in enumerate(tree.subtree_nodes(0))}
+        sram = SramStats()
+        run_subtree_lockstep(
+            machines, slot_map, TreeBufferBanking(4), 8, sram, elide_policy=policy
+        )
+        visited = sum(m.stats.nodes_visited for m in machines)
+        skipped = sum(m.stats.nodes_skipped for m in machines)
+        found = sum(len(m.hits) for m in machines)
+        return visited, skipped, found
+
+    def test_descend_skips_fewer_nodes(self):
+        _, skip_default, found_default = self._run("skip")
+        _, skip_descend, found_descend = self._run("descend")
+        assert skip_descend < skip_default
+        assert found_descend >= found_default  # fewer lost neighbors
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            self._run("drop-everything")

@@ -1,0 +1,78 @@
+"""Tests for the ApproximationPipeline (search + elision + memoization)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproxSetting,
+    ApproximationPipeline,
+    PointBufferBanking,
+    TreeBufferBanking,
+)
+from repro.kdtree import ball_query, build_kdtree
+
+
+def problem(n=128, m=16, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 3))
+    return pts, pts[rng.choice(n, m, replace=False)]
+
+
+class TestPipeline:
+    def test_exact_setting_matches_ball_query(self):
+        pts, queries = problem()
+        pipe = ApproximationPipeline()
+        got = pipe.query(pts, queries, 0.5, 8, ApproxSetting(0, None))
+        tree = build_kdtree(pts)
+        want, _ = ball_query(tree, queries, 0.5, 8)
+        assert np.array_equal(got, want)
+
+    def test_cache_hit_returns_same_array(self):
+        pts, queries = problem(seed=1)
+        pipe = ApproximationPipeline()
+        a = pipe.query(pts, queries, 0.5, 8, ApproxSetting(2, 3), cache_key="k")
+        b = pipe.query(pts, queries, 0.5, 8, ApproxSetting(2, 3), cache_key="k")
+        assert a is b  # memoized
+
+    def test_cache_distinguishes_settings(self):
+        pts, queries = problem(seed=2)
+        pipe = ApproximationPipeline()
+        a = pipe.query(pts, queries, 0.5, 8, ApproxSetting(2, 3), cache_key="k")
+        b = pipe.query(pts, queries, 0.5, 8, ApproxSetting(0, None), cache_key="k")
+        assert a is not b
+
+    def test_cache_distinguishes_banking(self):
+        pts, queries = problem(seed=3)
+        pipe = ApproximationPipeline()
+        a = pipe.query(pts, queries, 0.5, 8, ApproxSetting(2, 3), cache_key="k")
+        pipe.tree_banking = TreeBufferBanking(8)
+        b = pipe.query(pts, queries, 0.5, 8, ApproxSetting(2, 3), cache_key="k")
+        assert a is not b  # new key, recomputed
+
+    def test_clear_cache(self):
+        pts, queries = problem(seed=4)
+        pipe = ApproximationPipeline()
+        a = pipe.query(pts, queries, 0.5, 8, ApproxSetting(1, None), cache_key="k")
+        pipe.clear_cache()
+        b = pipe.query(pts, queries, 0.5, 8, ApproxSetting(1, None), cache_key="k")
+        assert a is not b
+        assert np.array_equal(a, b)
+
+    def test_no_cache_key_disables_memoization(self):
+        pts, queries = problem(seed=5)
+        pipe = ApproximationPipeline()
+        a = pipe.query(pts, queries, 0.5, 8, ApproxSetting(1, None))
+        b = pipe.query(pts, queries, 0.5, 8, ApproxSetting(1, None))
+        assert a is not b
+
+    def test_aggregation_elision_rewrites_indices(self):
+        pts, queries = problem(n=512, m=64, seed=6)
+        plain = ApproximationPipeline(elide_aggregation=False)
+        eliding = ApproximationPipeline(
+            elide_aggregation=True, point_banking=PointBufferBanking(4)
+        )
+        a = plain.query(pts, queries, 0.8, 16, ApproxSetting(0, None))
+        b = eliding.query(pts, queries, 0.8, 16, ApproxSetting(0, None))
+        assert not np.array_equal(a, b)
+        for i in range(len(queries)):
+            assert set(b[i]) <= set(a[i])  # replication never invents ids

@@ -1,0 +1,123 @@
+"""Unit tests for dataset classes and transforms."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Compose,
+    Jitter,
+    LidarDetectionDataset,
+    PartSegmentationDataset,
+    RandomDropout,
+    RandomScale,
+    RandomYawRotation,
+    ShapeClassificationDataset,
+    PointCloud,
+)
+
+
+class TestShapeClassificationDataset:
+    def test_len_and_indexing(self):
+        ds = ShapeClassificationDataset(size=16, num_points=64, seed=0)
+        assert len(ds) == 16
+        cloud, label = ds[0]
+        assert len(cloud) == 64
+        assert 0 <= label < ds.num_classes
+
+    def test_deterministic(self):
+        ds = ShapeClassificationDataset(size=8, num_points=32, seed=7)
+        a, la = ds[3]
+        b, lb = ds[3]
+        assert np.array_equal(a.points, b.points)
+        assert la == lb
+
+    def test_out_of_range(self):
+        ds = ShapeClassificationDataset(size=4)
+        with pytest.raises(IndexError):
+            ds[4]
+        with pytest.raises(IndexError):
+            ds[-1]
+
+    def test_classes_cycle(self):
+        ds = ShapeClassificationDataset(size=16, num_points=32)
+        labels = [ds[i][1] for i in range(16)]
+        # Balanced: every class appears size/num_classes times.
+        assert labels[: ds.num_classes] == list(range(ds.num_classes))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ShapeClassificationDataset(size=0)
+
+    def test_disjoint_seeds_give_disjoint_data(self):
+        train = ShapeClassificationDataset(size=4, num_points=32, seed=0)
+        test = ShapeClassificationDataset(size=4, num_points=32, seed=10_000)
+        assert not np.array_equal(train[0][0].points, test[0][0].points)
+
+
+class TestPartSegmentationDataset:
+    def test_indexing(self):
+        ds = PartSegmentationDataset(size=6, num_points=60)
+        cloud = ds[0]
+        assert len(cloud) == 60
+        assert cloud.labels is not None
+
+    def test_categories_cycle(self):
+        ds = PartSegmentationDataset(size=6)
+        cats = [ds[i].attrs["category"] for i in range(6)]
+        assert cats[:3] == ds.categories
+
+
+class TestLidarDetectionDataset:
+    def test_indexing(self):
+        ds = LidarDetectionDataset(size=2, num_points=1024, num_cars=2)
+        scene = ds[1]
+        assert len(scene.cloud) == 1024
+        assert len(scene.boxes) == 2
+
+
+class TestTransforms:
+    def make(self):
+        rng = np.random.default_rng(0)
+        return PointCloud(rng.normal(size=(32, 3)), labels=np.arange(32))
+
+    def test_yaw_rotation_preserves_z_norms(self):
+        cloud = self.make()
+        out = RandomYawRotation()(cloud, np.random.default_rng(1))
+        assert np.allclose(out.points[:, 2], cloud.points[:, 2])
+        assert np.allclose(
+            np.linalg.norm(out.points[:, :2], axis=1),
+            np.linalg.norm(cloud.points[:, :2], axis=1),
+        )
+
+    def test_jitter_bounded(self):
+        cloud = self.make()
+        out = Jitter(sigma=0.01, clip=0.02)(cloud, np.random.default_rng(1))
+        assert np.abs(out.points - cloud.points).max() <= 0.02 + 1e-12
+
+    def test_jitter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Jitter(sigma=-1)
+
+    def test_scale_bounds(self):
+        cloud = self.make()
+        out = RandomScale(0.5, 0.5)(cloud, np.random.default_rng(1))
+        assert np.allclose(out.points, cloud.points * 0.5)
+
+    def test_scale_invalid(self):
+        with pytest.raises(ValueError):
+            RandomScale(2.0, 1.0)
+
+    def test_dropout_keeps_size(self):
+        cloud = self.make()
+        out = RandomDropout(0.9)(cloud, np.random.default_rng(3))
+        assert len(out) == len(cloud)
+
+    def test_dropout_invalid(self):
+        with pytest.raises(ValueError):
+            RandomDropout(1.0)
+
+    def test_compose_order(self):
+        cloud = self.make()
+        pipeline = Compose([RandomScale(2.0, 2.0), RandomScale(0.5, 0.5)])
+        out = pipeline(cloud, np.random.default_rng(0))
+        assert np.allclose(out.points, cloud.points)

@@ -1,0 +1,84 @@
+"""Unit tests for the PointCloud container."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PointCloud
+
+
+def make_cloud(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return PointCloud(rng.normal(size=(n, 3)))
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        cloud = make_cloud(7)
+        assert len(cloud) == 7
+        assert cloud.num_points == 7
+        assert cloud.points.shape == (7, 3)
+        assert cloud.points.dtype == np.float64
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros(5))
+
+    def test_rejects_mismatched_features(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((5, 3)), features=np.zeros((4, 2)))
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((5, 3)), labels=np.zeros(6, dtype=int))
+
+    def test_accepts_features_and_labels(self):
+        cloud = PointCloud(
+            np.zeros((5, 3)), features=np.ones((5, 2)), labels=np.arange(5)
+        )
+        assert cloud.features.shape == (5, 2)
+        assert cloud.labels.dtype == np.int64
+
+    def test_casts_to_float64(self):
+        cloud = PointCloud(np.zeros((3, 3), dtype=np.float32))
+        assert cloud.points.dtype == np.float64
+
+
+class TestGeometry:
+    def test_centroid(self):
+        pts = np.array([[0, 0, 0], [2, 2, 2]], dtype=float)
+        assert np.allclose(PointCloud(pts).centroid, [1, 1, 1])
+
+    def test_bounds(self):
+        pts = np.array([[0, -1, 5], [2, 3, -4]], dtype=float)
+        bounds = PointCloud(pts).bounds
+        assert np.allclose(bounds[0], [0, -1, -4])
+        assert np.allclose(bounds[1], [2, 3, 5])
+
+    def test_normalized_unit_ball(self):
+        cloud = make_cloud(50).normalized()
+        norms = np.linalg.norm(cloud.points, axis=1)
+        assert norms.max() <= 1.0 + 1e-12
+        assert np.allclose(cloud.centroid, 0.0, atol=1e-9)
+
+    def test_normalized_degenerate_single_point(self):
+        cloud = PointCloud(np.array([[3.0, 4.0, 5.0]])).normalized()
+        assert np.allclose(cloud.points, 0.0)
+
+    def test_subset_preserves_attributes(self):
+        cloud = PointCloud(
+            np.arange(15, dtype=float).reshape(5, 3),
+            labels=np.arange(5),
+            attrs={"class_id": 3},
+        )
+        sub = cloud.subset([0, 2])
+        assert len(sub) == 2
+        assert sub.labels.tolist() == [0, 2]
+        assert sub.attrs["class_id"] == 3
+
+    def test_with_attrs_merges(self):
+        cloud = make_cloud().with_attrs(a=1)
+        cloud2 = cloud.with_attrs(b=2)
+        assert cloud2.attrs == {"a": 1, "b": 2}
+        assert cloud.attrs == {"a": 1}

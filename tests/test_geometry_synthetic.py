@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic shape / part / scene generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    PART_CATEGORIES,
+    Box3D,
+    box_iou_bev,
+    generate_scene,
+    num_part_classes,
+    sample_part_object,
+    sample_shape,
+    shape_class_names,
+)
+from repro.geometry.synthetic import random_rotation
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", shape_class_names())
+    def test_every_class_generates(self, name):
+        rng = np.random.default_rng(0)
+        cloud = sample_shape(name, rng, num_points=128)
+        assert len(cloud) == 128
+        assert cloud.attrs["class_name"] == name
+        assert np.isfinite(cloud.points).all()
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(KeyError):
+            sample_shape("dodecahedron", np.random.default_rng(0))
+
+    def test_deterministic_given_seed(self):
+        a = sample_shape("sphere", np.random.default_rng(42), num_points=64)
+        b = sample_shape("sphere", np.random.default_rng(42), num_points=64)
+        assert np.array_equal(a.points, b.points)
+
+    def test_different_seeds_differ(self):
+        a = sample_shape("sphere", np.random.default_rng(1), num_points=64)
+        b = sample_shape("sphere", np.random.default_rng(2), num_points=64)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_normalized_output(self):
+        cloud = sample_shape("torus", np.random.default_rng(3), num_points=64)
+        assert np.linalg.norm(cloud.points, axis=1).max() <= 1.0 + 1e-9
+
+    def test_occlusion_changes_cloud(self):
+        a = sample_shape("cube", np.random.default_rng(5), occlusion=0.0, rotate=False)
+        b = sample_shape("cube", np.random.default_rng(5), occlusion=0.4, rotate=False)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_class_ids_are_list_indices(self):
+        names = shape_class_names()
+        for i, name in enumerate(names):
+            cloud = sample_shape(name, np.random.default_rng(0), num_points=16)
+            assert cloud.attrs["class_id"] == i
+
+
+class TestRandomRotation:
+    def test_is_orthonormal(self):
+        for seed in range(5):
+            rot = random_rotation(np.random.default_rng(seed))
+            assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-9)
+            assert np.isclose(np.linalg.det(rot), 1.0)
+
+
+class TestPartObjects:
+    @pytest.mark.parametrize("category", list(PART_CATEGORIES.keys()))
+    def test_every_category_generates(self, category):
+        rng = np.random.default_rng(0)
+        cloud = sample_part_object(category, rng, num_points=120)
+        assert len(cloud) == 120
+        assert cloud.labels is not None
+        assert len(np.unique(cloud.labels)) == len(PART_CATEGORIES[category])
+
+    def test_part_ids_globally_unique(self):
+        seen = {}
+        for category in PART_CATEGORIES:
+            cloud = sample_part_object(category, np.random.default_rng(0))
+            for lab in np.unique(cloud.labels):
+                assert lab not in seen or seen[lab] == category
+                seen[int(lab)] = category
+        assert len(seen) == num_part_classes()
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            sample_part_object("chair", np.random.default_rng(0))
+
+
+class TestScenes:
+    def test_scene_point_budget(self):
+        scene = generate_scene(np.random.default_rng(0), num_points=2048, num_cars=3)
+        assert len(scene.cloud) == 2048
+        assert len(scene.boxes) == 3
+
+    def test_car_points_labelled(self):
+        scene = generate_scene(np.random.default_rng(1), num_points=4096, num_cars=4)
+        # Car surface sampling guarantees some points inside boxes.
+        assert scene.cloud.labels.sum() > 0
+
+    def test_zero_cars(self):
+        scene = generate_scene(np.random.default_rng(2), num_points=512, num_cars=0)
+        assert scene.boxes == []
+        assert scene.cloud.labels.sum() == 0
+
+    def test_negative_cars_raises(self):
+        with pytest.raises(ValueError):
+            generate_scene(np.random.default_rng(0), num_cars=-1)
+
+
+class TestBoxIoU:
+    def test_identical_boxes(self):
+        box = Box3D([0, 0, 0], [4, 2, 1.5], 0.3)
+        assert box_iou_bev(box, box) == pytest.approx(1.0, abs=1e-6)
+
+    def test_disjoint_boxes(self):
+        a = Box3D([0, 0, 0], [2, 2, 2], 0.0)
+        b = Box3D([10, 10, 0], [2, 2, 2], 0.0)
+        assert box_iou_bev(a, b) == 0.0
+
+    def test_half_overlap_axis_aligned(self):
+        a = Box3D([0, 0, 0], [2, 2, 2], 0.0)
+        b = Box3D([1, 0, 0], [2, 2, 2], 0.0)
+        # Intersection 1x2=2, union 4+4-2=6.
+        assert box_iou_bev(a, b) == pytest.approx(2 / 6, abs=1e-6)
+
+    def test_rotation_invariance(self):
+        a = Box3D([0, 0, 0], [4, 2, 1], 0.0)
+        b = Box3D([1, 0, 0], [4, 2, 1], 0.0)
+        base = box_iou_bev(a, b)
+        theta = 0.7
+        c, s = np.cos(theta), np.sin(theta)
+        rot = np.array([[c, -s], [s, c]])
+        ar = Box3D([0, 0, 0], [4, 2, 1], theta)
+        brc = rot @ np.array([1.0, 0.0])
+        br = Box3D([brc[0], brc[1], 0], [4, 2, 1], theta)
+        assert box_iou_bev(ar, br) == pytest.approx(base, abs=1e-6)
+
+    def test_contains(self):
+        box = Box3D([0, 0, 0], [2, 2, 2], 0.0)
+        pts = np.array([[0, 0, 0], [0.9, 0.9, 0.9], [1.5, 0, 0]])
+        assert box.contains(pts).tolist() == [True, True, False]

@@ -1,0 +1,95 @@
+"""Cross-module integration tests.
+
+These pin the contracts *between* subsystems: the functional approximate
+search and the cycle-level engine must agree on results; the training
+pipeline must produce models whose inference matches a fresh pipeline with
+the same banking; accelerator workloads must be runnable end to end on all
+variants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    NeighborSearchEngine,
+    PointCloudAccelerator,
+    evaluation_hardware,
+    evaluation_networks,
+    make_mesorasi,
+    workload_points,
+)
+from repro.core import (
+    ApproxSetting,
+    ApproximationPipeline,
+    TreeBufferBanking,
+    approximate_ball_query,
+)
+from repro.geometry import ShapeClassificationDataset
+from repro.kdtree import build_kdtree
+from repro.models import PointNetPPClassifier
+from repro.nn import no_grad
+
+
+class TestEngineFunctionalAgreement:
+    def test_engine_results_match_functional_search(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(512, 3))
+        queries = pts[rng.choice(512, 64, replace=False)]
+        tree = build_kdtree(pts)
+        hw = evaluation_hardware()
+        setting = ApproxSetting(3, 5)
+        engine_idx, engine_cnt, _ = NeighborSearchEngine(hw).run(
+            tree, queries, 0.5, 8, setting
+        )
+        func_idx, func_cnt, _ = approximate_ball_query(
+            tree, queries, 0.5, 8, setting.scaled_to(tree.height),
+            banking=TreeBufferBanking(hw.tree_buffer.num_banks),
+            num_pes=hw.num_pes,
+            simulate_conflicts=True,
+        )
+        # The engine is the functional model plus timing: results identical.
+        assert np.array_equal(engine_idx, func_idx)
+        assert np.array_equal(engine_cnt, func_cnt)
+
+    def test_model_inference_independent_of_pipeline_instance(self):
+        ds = ShapeClassificationDataset(size=2, num_points=96, rotate=False)
+        cloud, _ = ds[0]
+        setting = ApproxSetting(2, 4)
+        logits = []
+        for _ in range(2):
+            model = PointNetPPClassifier(
+                ds.num_classes, np.random.default_rng(7), ApproximationPipeline()
+            )
+            model.eval()
+            with no_grad():
+                logits.append(model(cloud.points, setting).data)
+        assert np.array_equal(logits[0], logits[1])
+
+
+class TestAcceleratorSuiteRunnable:
+    @pytest.mark.parametrize("name", list(evaluation_networks()))
+    def test_every_network_runs_on_every_variant(self, name):
+        hw = evaluation_hardware()
+        spec = evaluation_networks()[name]
+        pts = workload_points(name)
+        runs = {
+            "mesorasi": make_mesorasi(hw).run_network(spec, pts, ApproxSetting(0, None)),
+            "crescent": PointCloudAccelerator(
+                hw, NeighborSearchEngine(hw), True
+            ).run_network(spec, pts, ApproxSetting(4, 8)),
+        }
+        for label, run in runs.items():
+            assert run.cycles > 0, (name, label)
+            assert run.energy.total > 0, (name, label)
+            assert len(run.layers) >= len(spec.layers), (name, label)
+
+    def test_results_deterministic_across_processes_worth(self):
+        # Same seed -> identical cycles (no hidden global state).
+        hw = evaluation_hardware()
+        spec = evaluation_networks()["PointNet++ (c)"]
+        pts = workload_points("PointNet++ (c)")
+        acc = PointCloudAccelerator(hw, NeighborSearchEngine(hw), True)
+        a = acc.run_network(spec, pts, ApproxSetting(4, 8), seed=3)
+        b = acc.run_network(spec, pts, ApproxSetting(4, 8), seed=3)
+        assert a.cycles == b.cycles
+        assert a.energy.total == pytest.approx(b.energy.total)

@@ -1,0 +1,89 @@
+"""Unit and property tests for K-d tree construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kdtree import KdTree, NODE_BYTES, build_kdtree
+
+
+def random_points(n, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, 3))
+
+
+class TestBuild:
+    def test_single_point(self):
+        tree = build_kdtree(np.array([[1.0, 2.0, 3.0]]))
+        assert tree.num_nodes == 1
+        assert tree.height == 1
+        assert tree.children(0) == (-1, -1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_kdtree(np.empty((0, 3)))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            build_kdtree(np.zeros((4, 2)))
+
+    def test_rejects_bad_rule(self):
+        with pytest.raises(ValueError):
+            build_kdtree(random_points(4), split_rule="median-of-medians")
+
+    def test_balanced_height(self):
+        for n in (1, 2, 3, 7, 8, 100, 255, 256):
+            tree = build_kdtree(random_points(n, seed=n))
+            expected = int(np.ceil(np.log2(n + 1)))
+            assert tree.height == expected, f"n={n}"
+
+    def test_all_points_present_once(self):
+        tree = build_kdtree(random_points(73))
+        assert sorted(tree.point_id.tolist()) == list(range(73))
+
+    def test_level_order_numbering(self):
+        tree = build_kdtree(random_points(64))
+        # Level-order: depth is non-decreasing with node id.
+        assert (np.diff(tree.depth) >= 0).all()
+
+    def test_root_subtree_is_whole_tree(self):
+        tree = build_kdtree(random_points(50))
+        assert tree.subtree_size[0] == 50
+        assert len(tree.subtree_nodes(0)) == 50
+
+    def test_node_addresses(self):
+        tree = build_kdtree(random_points(10))
+        assert tree.node_address(0) == 0
+        assert tree.node_address(3) == 3 * NODE_BYTES
+
+    def test_invariants_validate(self):
+        tree = build_kdtree(random_points(128, seed=5))
+        tree.validate()
+
+    def test_cycle_rule_dims(self):
+        tree = build_kdtree(random_points(15), split_rule="cycle")
+        for node in range(tree.num_nodes):
+            assert tree.split_dim[node] == tree.depth[node] % 3
+
+    def test_nodes_at_depth(self):
+        tree = build_kdtree(random_points(15))
+        # 15 points build a perfect tree: 1, 2, 4, 8 nodes per level.
+        assert [len(tree.nodes_at_depth(d)) for d in range(4)] == [1, 2, 4, 8]
+
+    def test_duplicate_points_ok(self):
+        pts = np.zeros((9, 3))
+        tree = build_kdtree(pts)
+        tree.validate()
+        assert tree.num_nodes == 9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_structural_invariants(n, seed):
+    """Any random cloud builds a valid, balanced tree containing all points."""
+    tree = build_kdtree(random_points(n, seed=seed))
+    tree.validate()
+    assert tree.height == int(np.ceil(np.log2(n + 1)))

@@ -1,0 +1,171 @@
+"""Exact searches must agree with brute force; traversal stats must be sane."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kdtree import (
+    TraversalStats,
+    ball_query,
+    brute_ball_query,
+    brute_knn_search,
+    brute_radius_search,
+    build_kdtree,
+    knn_search,
+    radius_search,
+)
+
+
+def random_points(n, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, 3))
+
+
+class TestRadiusSearch:
+    def test_matches_brute_force(self):
+        pts = random_points(200, seed=1)
+        tree = build_kdtree(pts)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            q = rng.normal(size=3)
+            got = sorted(radius_search(tree, q, radius=0.5))
+            want = sorted(brute_radius_search(pts, q, 0.5).tolist())
+            assert got == want
+
+    def test_rejects_nonpositive_radius(self):
+        tree = build_kdtree(random_points(10))
+        with pytest.raises(ValueError):
+            radius_search(tree, np.zeros(3), radius=0.0)
+
+    def test_max_neighbors_cap(self):
+        pts = random_points(100, seed=3)
+        tree = build_kdtree(pts)
+        got = radius_search(tree, pts.mean(axis=0), radius=10.0, max_neighbors=5)
+        assert len(got) == 5
+
+    def test_stats_counted(self):
+        pts = random_points(100, seed=4)
+        tree = build_kdtree(pts)
+        stats = TraversalStats()
+        radius_search(tree, np.zeros(3), radius=0.3, stats=stats)
+        assert stats.queries == 1
+        assert 0 < stats.nodes_visited <= 100
+        assert stats.stack_pops == stats.nodes_visited
+        # Pruning plus visiting plus leftover stack covers the whole tree.
+        assert stats.nodes_visited + stats.nodes_pruned <= 100
+
+    def test_trace_recording(self):
+        pts = random_points(50, seed=5)
+        tree = build_kdtree(pts)
+        stats = TraversalStats()
+        radius_search(tree, np.zeros(3), radius=1.0, stats=stats, record_trace=True)
+        assert len(stats.visit_trace) == stats.nodes_visited
+        assert stats.visit_trace[0] == tree.root
+
+    def test_pruning_happens_for_small_radius(self):
+        pts = random_points(500, seed=6)
+        tree = build_kdtree(pts)
+        stats = TraversalStats()
+        radius_search(tree, pts[0], radius=0.05, stats=stats)
+        assert stats.nodes_visited < 500
+        assert stats.nodes_pruned > 0
+
+
+class TestKnnSearch:
+    def test_matches_brute_force(self):
+        pts = random_points(150, seed=7)
+        tree = build_kdtree(pts)
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            q = rng.normal(size=3)
+            got = knn_search(tree, q, k=7)
+            want = brute_knn_search(pts, q, 7).tolist()
+            # Distances must match exactly even if ties reorder ids.
+            d_got = sorted(((pts[i] - q) ** 2).sum() for i in got)
+            d_want = sorted(((pts[i] - q) ** 2).sum() for i in want)
+            assert np.allclose(d_got, d_want)
+
+    def test_k_larger_than_n(self):
+        pts = random_points(5, seed=9)
+        tree = build_kdtree(pts)
+        got = knn_search(tree, np.zeros(3), k=10)
+        assert sorted(got) == list(range(5))
+
+    def test_rejects_bad_k(self):
+        tree = build_kdtree(random_points(5))
+        with pytest.raises(ValueError):
+            knn_search(tree, np.zeros(3), k=0)
+
+    def test_nearest_first_ordering(self):
+        pts = random_points(60, seed=10)
+        tree = build_kdtree(pts)
+        q = np.array([0.1, -0.2, 0.3])
+        got = knn_search(tree, q, k=5)
+        dists = [((pts[i] - q) ** 2).sum() for i in got]
+        assert dists == sorted(dists)
+
+
+class TestBallQuery:
+    def test_matches_brute_force(self):
+        pts = random_points(120, seed=11)
+        tree = build_kdtree(pts)
+        queries = random_points(10, seed=12)
+        idx_t, cnt_t = ball_query(tree, queries, radius=0.6, max_neighbors=8)
+        idx_b, cnt_b = brute_ball_query(pts, queries, radius=0.6, max_neighbors=8)
+        assert np.array_equal(cnt_t, cnt_b)
+        for i in range(10):
+            # Set equality over the true-hit region (tree order may differ).
+            k = cnt_t[i]
+            assert set(idx_t[i, :k]) == set(idx_b[i, :k])
+
+    def test_padding_replicates_first(self):
+        pts = np.array([[0, 0, 0], [5, 5, 5], [6, 6, 6]], dtype=float)
+        tree = build_kdtree(pts)
+        idx, cnt = ball_query(tree, np.array([[0.0, 0.0, 0.0]]), 0.5, 4)
+        assert cnt[0] == 1
+        assert (idx[0] == idx[0, 0]).all()
+
+    def test_empty_result_falls_back_to_nearest(self):
+        pts = np.array([[10, 10, 10], [11, 11, 11]], dtype=float)
+        tree = build_kdtree(pts)
+        idx, cnt = ball_query(tree, np.array([[0.0, 0.0, 0.0]]), 0.1, 3)
+        assert cnt[0] == 0
+        assert (idx[0] == 0).all()  # point 0 is nearest
+
+    def test_shapes(self):
+        pts = random_points(40, seed=13)
+        tree = build_kdtree(pts)
+        idx, cnt = ball_query(tree, random_points(6, seed=14), 0.8, 16)
+        assert idx.shape == (6, 16)
+        assert cnt.shape == (6,)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31),
+    radius=st.floats(min_value=0.05, max_value=3.0),
+)
+def test_property_radius_agrees_with_brute(n, seed, radius):
+    pts = random_points(n, seed=seed)
+    tree = build_kdtree(pts)
+    q = np.random.default_rng(seed + 1).normal(size=3)
+    got = sorted(radius_search(tree, q, radius))
+    want = sorted(brute_radius_search(pts, q, radius).tolist())
+    assert got == want
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31),
+    k=st.integers(min_value=1, max_value=10),
+)
+def test_property_knn_distance_agrees_with_brute(n, seed, k):
+    pts = random_points(n, seed=seed)
+    tree = build_kdtree(pts)
+    q = np.random.default_rng(seed + 1).normal(size=3)
+    got = knn_search(tree, q, k)
+    want = brute_knn_search(pts, q, k)
+    d = lambda ids: sorted(float(((pts[i] - q) ** 2).sum()) for i in ids)
+    assert np.allclose(d(got), d(want))

@@ -1,0 +1,59 @@
+"""Tests for the energy model and breakdown accounting."""
+
+import pytest
+
+from repro.memsim import EnergyBreakdown, EnergyModel
+
+
+class TestEnergyModel:
+    def test_paper_ratios(self):
+        em = EnergyModel()
+        # Random : streaming DRAM ~ 3 : 1, random DRAM : SRAM = 25 : 1.
+        assert em.dram_random_per_byte / em.dram_streaming_per_byte == pytest.approx(3.0, rel=0.01)
+        assert em.dram_random_per_byte / em.sram_per_byte == pytest.approx(25.0)
+
+    def test_linear_in_bytes(self):
+        em = EnergyModel()
+        assert em.sram(100) == 100 * em.sram_per_byte
+        assert em.dram_streaming(10) + em.dram_streaming(20) == pytest.approx(
+            em.dram_streaming(30)
+        )
+
+    def test_op_energies(self):
+        em = EnergyModel()
+        assert em.macs(4) == 4 * em.mac_op
+        assert em.distances(2) == 2 * em.distance_op
+        assert em.stack_ops(3) == 3 * em.stack_op
+
+
+class TestEnergyBreakdown:
+    def test_add_and_total(self):
+        b = EnergyBreakdown()
+        b.add("a", 10.0)
+        b.add("a", 5.0)
+        b.add("b", 1.0)
+        assert b.components["a"] == 15.0
+        assert b.total == 16.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown().add("a", -1.0)
+
+    def test_merge(self):
+        a = EnergyBreakdown()
+        a.add("x", 1.0)
+        b = EnergyBreakdown()
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.components == {"x": 3.0, "y": 3.0}
+
+    def test_fraction(self):
+        b = EnergyBreakdown()
+        b.add("x", 3.0)
+        b.add("y", 1.0)
+        assert b.fraction("x") == pytest.approx(0.75)
+        assert b.fraction("missing") == 0.0
+
+    def test_fraction_of_empty(self):
+        assert EnergyBreakdown().fraction("x") == 0.0

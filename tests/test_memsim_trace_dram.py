@@ -1,0 +1,127 @@
+"""Unit tests for memory traces and the DRAM model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim import (
+    DramConfig,
+    DramModel,
+    continuous_mask,
+    fraction_noncontiguous,
+    interleave_round_robin,
+)
+
+
+class TestTrace:
+    def test_fully_sequential_trace(self):
+        addrs = np.arange(0, 640, 64)
+        assert fraction_noncontiguous(addrs, 64) == pytest.approx(1 / 10)
+        mask = continuous_mask(addrs, 64)
+        assert not mask[0] and mask[1:].all()
+
+    def test_fully_random_trace(self):
+        addrs = np.array([0, 1000, 64, 5000])
+        assert fraction_noncontiguous(addrs, 64) == 1.0
+
+    def test_empty_trace(self):
+        assert fraction_noncontiguous(np.array([]), 64) == 0.0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            continuous_mask(np.array([0]), 0)
+
+    def test_interleave_round_robin(self):
+        merged = interleave_round_robin([[1, 2, 3], [10, 20], [100]])
+        assert merged.tolist() == [1, 10, 100, 2, 20, 3]
+
+    def test_interleave_empty(self):
+        assert interleave_round_robin([]).tolist() == []
+        assert interleave_round_robin([[], []]).tolist() == []
+
+    def test_interleave_breaks_streams(self):
+        # Two individually-sequential traces become almost fully
+        # non-contiguous when interleaved — the Fig. 2 effect.
+        a = np.arange(0, 64 * 20, 64)
+        b = np.arange(10_000, 10_000 + 64 * 20, 64)
+        merged = interleave_round_robin([a, b])
+        assert fraction_noncontiguous(merged, 64) == 1.0
+
+
+class TestDram:
+    def test_stream_costs_less_than_random(self):
+        cfg = DramConfig()
+        seq = DramModel(cfg)
+        rnd = DramModel(cfg)
+        n = 100
+        addrs_seq = np.arange(n) * cfg.burst_bytes
+        rng = np.random.default_rng(0)
+        addrs_rnd = rng.integers(0, 10**8, size=n) * 4096
+        seq.access_trace(addrs_seq, cfg.burst_bytes)
+        rnd.access_trace(addrs_rnd, cfg.burst_bytes)
+        assert seq.usage.cycles < rnd.usage.cycles
+        assert seq.usage.random_accesses < rnd.usage.random_accesses
+
+    def test_stream_method_accounting(self):
+        model = DramModel()
+        inc = model.stream(4096)
+        assert inc.streaming_bytes == 4096
+        assert inc.random_bytes == 0
+        assert inc.cycles > 0
+        assert model.usage.total_bytes == 4096
+
+    def test_stream_zero_bytes(self):
+        model = DramModel()
+        inc = model.stream(0)
+        assert inc.cycles == 0
+        assert inc.total_bytes == 0
+
+    def test_stream_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DramModel().stream(-1)
+
+    def test_trace_same_row_is_streaming(self):
+        cfg = DramConfig(row_bytes=2048)
+        model = DramModel(cfg)
+        model.access_trace(np.array([0, 64, 128]), 64)
+        assert model.usage.random_accesses == 1  # first access opens a row
+        assert model.usage.streaming_accesses == 2
+
+    def test_trace_row_jumps_are_random(self):
+        cfg = DramConfig(row_bytes=2048)
+        model = DramModel(cfg)
+        model.access_trace(np.array([0, 4096, 0, 4096]), 64)
+        assert model.usage.random_accesses == 4
+
+    def test_usage_merge(self):
+        model = DramModel()
+        model.stream(1000)
+        model.stream(1000)
+        assert model.usage.streaming_bytes == 2000
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DramConfig(row_bytes=0)
+        with pytest.raises(ValueError):
+            DramConfig(burst_bytes=4096, row_bytes=2048)
+
+    def test_reset(self):
+        model = DramModel()
+        model.stream(100)
+        model.reset()
+        assert model.usage.total_bytes == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=500))
+def test_property_streaming_is_cheapest_ordering(n):
+    """Any permutation of a sequential trace costs at least as much."""
+    cfg = DramConfig()
+    addrs = np.arange(n) * cfg.burst_bytes
+    seq = DramModel(cfg)
+    seq.access_trace(addrs, cfg.burst_bytes)
+    perm = DramModel(cfg)
+    rng = np.random.default_rng(n)
+    perm.access_trace(rng.permutation(addrs), cfg.burst_bytes)
+    assert seq.usage.cycles <= perm.usage.cycles

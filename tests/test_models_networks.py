@@ -1,0 +1,131 @@
+"""Tests for the four evaluation networks."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxSetting
+from repro.geometry import generate_scene, sample_shape
+from repro.models import (
+    MODEL_REGISTRY,
+    DensePointClassifier,
+    FrustumPointNet,
+    PointNetPPClassifier,
+    PointNetPPSegmenter,
+    build_model,
+    frustum_crop,
+)
+
+
+def cloud_points(n=128, seed=0):
+    return sample_shape("torus", np.random.default_rng(seed), num_points=n).points
+
+
+class TestClassifier:
+    def test_logit_shape(self):
+        model = PointNetPPClassifier(8, np.random.default_rng(0))
+        logits = model(cloud_points())
+        assert logits.shape == (1, 8)
+
+    def test_backward_reaches_all_parameters(self):
+        model = PointNetPPClassifier(8, np.random.default_rng(0))
+        logits = model(cloud_points())
+        logits.sum().backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert all(grads)
+
+    def test_approximation_setting_changes_logits(self):
+        model = PointNetPPClassifier(8, np.random.default_rng(0))
+        model.eval()
+        pts = cloud_points(seed=1)
+        exact = model(pts, ApproxSetting(0, None))
+        approx = model(pts, ApproxSetting(4, 2))
+        assert not np.allclose(exact.data, approx.data)
+
+    def test_rejects_bad_classes(self):
+        with pytest.raises(ValueError):
+            PointNetPPClassifier(0, np.random.default_rng(0))
+
+
+class TestSegmenter:
+    def test_per_point_logits(self):
+        model = PointNetPPSegmenter(9, np.random.default_rng(0))
+        pts = cloud_points(96)
+        logits = model(pts)
+        assert logits.shape == (96, 9)
+
+    def test_backward(self):
+        model = PointNetPPSegmenter(5, np.random.default_rng(0))
+        model(cloud_points(96)).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestDensePoint:
+    def test_logits_and_dense_connectivity(self):
+        model = DensePointClassifier(8, np.random.default_rng(0))
+        logits = model(cloud_points(160))
+        assert logits.shape == (1, 8)
+
+    def test_backward(self):
+        model = DensePointClassifier(8, np.random.default_rng(0))
+        model(cloud_points(160)).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestFrustum:
+    def scene(self):
+        return generate_scene(np.random.default_rng(0), num_points=1024, num_cars=2)
+
+    def test_crop_fixed_size(self):
+        scene = self.scene()
+        crop = frustum_crop(scene.cloud.points, scene.boxes[0].center[:2], max_points=128)
+        assert crop.shape == (128, 3)
+
+    def test_crop_is_directional(self):
+        scene = self.scene()
+        crop = frustum_crop(
+            scene.cloud.points, scene.boxes[0].center[:2],
+            half_angle=0.2, max_points=128,
+        )
+        target = np.arctan2(scene.boxes[0].center[1], scene.boxes[0].center[0])
+        bearings = np.arctan2(crop[:, 1], crop[:, 0])
+        assert np.abs(np.angle(np.exp(1j * (bearings - target)))).max() <= 0.2 + 1e-9
+
+    def test_prediction_decodes_to_box(self):
+        scene = self.scene()
+        model = FrustumPointNet(np.random.default_rng(0))
+        crop = frustum_crop(scene.cloud.points, scene.boxes[0].center[:2], max_points=128)
+        pred = model(crop)
+        assert pred.segmentation_logits.shape == (128, 2)
+        assert pred.box_params.shape == (1, 8)
+        box = pred.decode(crop)
+        assert np.isfinite(box.center).all()
+        assert (box.size > 0).all()
+
+    def test_backward(self):
+        scene = self.scene()
+        model = FrustumPointNet(np.random.default_rng(0))
+        crop = frustum_crop(scene.cloud.points, scene.boxes[0].center[:2], max_points=96)
+        pred = model(crop)
+        (pred.segmentation_logits.sum() + pred.box_params.sum()).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestRegistry:
+    def test_table1_rows(self):
+        assert set(MODEL_REGISTRY) == {
+            "PointNet++ (c)", "PointNet++ (s)", "DensePoint", "F-PointNet"
+        }
+        tasks = {e.task for e in MODEL_REGISTRY.values()}
+        assert tasks == {"classification", "segmentation", "detection"}
+
+    def test_build_model(self):
+        model = build_model("PointNet++ (c)", num_classes=8, seed=1)
+        assert model(cloud_points()).shape == (1, 8)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("PointNet", 8)
+
+    def test_paper_dataset_mapping(self):
+        assert MODEL_REGISTRY["F-PointNet"].paper_dataset == "KITTI"
+        assert MODEL_REGISTRY["PointNet++ (s)"].metric == "mIoU"

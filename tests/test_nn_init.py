@@ -1,0 +1,44 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import kaiming_uniform, xavier_uniform, zeros
+
+
+class TestInitializers:
+    def test_kaiming_bounds(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform(rng, 64, 32)
+        bound = np.sqrt(6.0 / 64)
+        assert w.shape == (64, 32)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform(rng, 64, 32)
+        bound = np.sqrt(6.0 / 96)
+        assert np.abs(w).max() <= bound
+
+    def test_deterministic_given_rng(self):
+        a = kaiming_uniform(np.random.default_rng(7), 8, 8)
+        b = kaiming_uniform(np.random.default_rng(7), 8, 8)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kaiming_uniform(rng, 0, 4)
+        with pytest.raises(ValueError):
+            xavier_uniform(rng, 4, -1)
+
+    def test_zeros(self):
+        z = zeros(3, 4)
+        assert z.shape == (3, 4)
+        assert (z == 0).all()
+
+    def test_variance_scales_with_fan_in(self):
+        rng = np.random.default_rng(1)
+        wide = kaiming_uniform(rng, 1024, 64)
+        narrow = kaiming_uniform(rng, 16, 64)
+        assert wide.std() < narrow.std()

@@ -1,0 +1,77 @@
+"""Property-based tests for loss functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, huber_loss, log_softmax, mse_loss, softmax_cross_entropy
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_log_softmax_is_shift_invariant(seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(4, 6))
+    shift = rng.normal()
+    a = log_softmax(Tensor(logits)).data
+    b = log_softmax(Tensor(logits + shift)).data
+    assert np.allclose(a, b)
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_cross_entropy_nonnegative_and_grad_sums_to_zero(seed):
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+    labels = rng.integers(0, 4, size=5)
+    loss = softmax_cross_entropy(logits, labels)
+    assert loss.item() >= 0.0
+    loss.backward()
+    # d(CE)/d(logits) = softmax - onehot: rows sum to zero.
+    assert np.allclose(logits.grad.sum(axis=-1), 0.0, atol=1e-9)
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_cross_entropy_minimized_at_correct_label(seed):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(1, 5))
+    label = np.array([int(rng.integers(5))])
+    correct = base.copy()
+    correct[0, label[0]] += 5.0
+    wrong = base.copy()
+    wrong[0, (label[0] + 1) % 5] += 5.0
+    assert (
+        softmax_cross_entropy(Tensor(correct), label).item()
+        < softmax_cross_entropy(Tensor(wrong), label).item()
+    )
+
+
+@settings(**SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    delta=st.floats(min_value=0.2, max_value=3.0),
+)
+def test_huber_bounded_by_mse_and_linear(seed, delta):
+    rng = np.random.default_rng(seed)
+    pred = rng.normal(scale=3.0, size=6)
+    target = rng.normal(scale=3.0, size=6)
+    h = huber_loss(Tensor(pred), target, delta=delta).item()
+    half_mse = 0.5 * mse_loss(Tensor(pred), target).item()
+    # Huber never exceeds the quadratic loss.
+    assert h <= half_mse + 1e-9
+    assert h >= 0.0
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_huber_gradient_is_clipped(seed):
+    rng = np.random.default_rng(seed)
+    pred = Tensor(rng.normal(scale=10.0, size=4), requires_grad=True)
+    target = np.zeros(4)
+    huber_loss(pred, target, delta=1.0).backward()
+    # Gradient magnitude per element is at most delta / n (mean reduction).
+    assert np.abs(pred.grad).max() <= 1.0 / 4 + 1e-9

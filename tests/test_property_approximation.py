@@ -1,0 +1,108 @@
+"""Property-based tests of the approximation stack's global invariants.
+
+These hold for *any* knob setting, banking configuration, and input — the
+contracts the accuracy of the whole reproduction rests on:
+
+1. soundness — approximate search never reports a point outside the query
+   radius;
+2. subset — approximate results are a subset of the exact results;
+3. monotone work — a taller top tree never increases per-query node
+   visits; a lower elision height never decreases skips;
+4. aggregation elision closure — the rewritten index matrix only contains
+   ids that were already among the query's neighbors;
+5. determinism — everything is a pure function of its inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ApproxSetting,
+    PointBufferBanking,
+    TreeBufferBanking,
+    apply_aggregation_elision,
+    approximate_ball_query,
+)
+from repro.kdtree import ball_query, build_kdtree
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _problem(seed, n=80, m=8):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 3))
+    return pts, rng.normal(size=(m, 3)), build_kdtree(pts)
+
+
+@settings(**SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    ht=st.integers(min_value=0, max_value=6),
+    he=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+    banks=st.sampled_from([1, 2, 4, 8]),
+    pes=st.integers(min_value=1, max_value=8),
+)
+def test_soundness_and_subset_under_any_setting(seed, ht, he, banks, pes):
+    pts, queries, tree = _problem(seed)
+    idx, cnt, _ = approximate_ball_query(
+        tree, queries, 0.6, 8, ApproxSetting(ht, he),
+        banking=TreeBufferBanking(banks), num_pes=pes,
+    )
+    exact_idx, exact_cnt = ball_query(tree, queries, 0.6, 8)
+    for i in range(len(queries)):
+        mine = set(idx[i, : cnt[i]].tolist())
+        # Soundness: every reported neighbor is within the radius.
+        for p in mine:
+            assert np.linalg.norm(pts[p] - queries[i]) <= 0.6 + 1e-9
+        # Subset: approximation only loses neighbors, never invents them.
+        full = set(
+            int(p)
+            for p in np.nonzero(
+                ((pts - queries[i]) ** 2).sum(axis=1) <= 0.36 + 1e-12
+            )[0]
+        )
+        assert mine <= full
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_monotone_visits_in_top_height(seed):
+    pts, queries, tree = _problem(seed, n=120, m=12)
+    visits = []
+    for ht in (0, 2, 4):
+        _, _, report = approximate_ball_query(
+            tree, queries, 0.6, 16, ApproxSetting(ht, None),
+            simulate_conflicts=False,
+        )
+        visits.append(report.traversal.nodes_visited)
+    assert visits[0] >= visits[1] >= visits[2]
+
+
+@settings(**SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    banks=st.sampled_from([2, 4, 8, 16]),
+    ports=st.sampled_from([4, 8, 16]),
+)
+def test_aggregation_elision_closure(seed, banks, ports):
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, 256, size=(16, 16))
+    out = apply_aggregation_elision(indices, PointBufferBanking(banks), ports)
+    for i in range(len(indices)):
+        assert set(out[i].tolist()) <= set(indices[i].tolist())
+
+
+@settings(**SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    ht=st.integers(min_value=0, max_value=5),
+    he=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+)
+def test_determinism(seed, ht, he):
+    pts, queries, tree = _problem(seed)
+    a = approximate_ball_query(tree, queries, 0.5, 8, ApproxSetting(ht, he))
+    b = approximate_ball_query(tree, queries, 0.5, 8, ApproxSetting(ht, he))
+    assert np.array_equal(a[0], b[0])
+    assert np.array_equal(a[1], b[1])
+    assert a[2].traversal.nodes_visited == b[2].traversal.nodes_visited

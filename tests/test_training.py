@@ -1,0 +1,157 @@
+"""Tests for metrics, samplers, and the approximation-aware trainers.
+
+The integration tests pin the paper's central training claims at toy
+scale: training reduces loss, approximate inference without retraining
+loses accuracy, and approximation-aware retraining recovers it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxSetting
+from repro.geometry import (
+    Box3D,
+    LidarDetectionDataset,
+    PartSegmentationDataset,
+    ShapeClassificationDataset,
+    num_part_classes,
+)
+from repro.models import (
+    FrustumPointNet,
+    PointNetPPClassifier,
+    PointNetPPSegmenter,
+)
+from repro.training import (
+    ClassificationTrainer,
+    DetectionTrainer,
+    FixedSetting,
+    MixedSetting,
+    SegmentationTrainer,
+    detection_iou_geomean,
+    mean_iou,
+    overall_accuracy,
+)
+
+
+class TestMetrics:
+    def test_overall_accuracy(self):
+        assert overall_accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            overall_accuracy(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            overall_accuracy(np.array([]), np.array([]))
+
+    def test_mean_iou_perfect(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert mean_iou(labels, labels, 3) == pytest.approx(1.0)
+
+    def test_mean_iou_skips_absent_classes(self):
+        preds = np.array([0, 0, 1, 1])
+        labels = np.array([0, 0, 1, 1])
+        assert mean_iou(preds, labels, 10) == pytest.approx(1.0)
+
+    def test_mean_iou_partial(self):
+        preds = np.array([0, 0, 1, 1])
+        labels = np.array([0, 1, 1, 1])
+        # class0: inter 1, union 2 -> .5 ; class1: inter 2, union 3 -> 2/3
+        assert mean_iou(preds, labels, 2) == pytest.approx((0.5 + 2 / 3) / 2)
+
+    def test_detection_geomean(self):
+        box = Box3D([0, 0, 0], [4, 2, 1.5], 0.0)
+        assert detection_iou_geomean([box], [box]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_detection_floors_misses(self):
+        a = Box3D([0, 0, 0], [2, 2, 2], 0.0)
+        b = Box3D([50, 50, 0], [2, 2, 2], 0.0)
+        assert detection_iou_geomean([a], [b]) == pytest.approx(1e-3)
+
+
+class TestSamplers:
+    def test_fixed(self):
+        sampler = FixedSetting(ApproxSetting(3, 5))
+        rng = np.random.default_rng(0)
+        assert all(sampler.sample(rng) == ApproxSetting(3, 5) for _ in range(5))
+
+    def test_mixed_covers_range(self):
+        sampler = MixedSetting(top_heights=[1, 2, 3], elision_heights=[4, None])
+        rng = np.random.default_rng(0)
+        drawn = [sampler.sample(rng) for _ in range(200)]
+        assert {s.top_height for s in drawn} == {1, 2, 3}
+        assert {s.elision_height for s in drawn} == {4, None}
+
+    def test_mixed_validation(self):
+        with pytest.raises(ValueError):
+            MixedSetting(top_heights=[])
+
+
+@pytest.fixture(scope="module")
+def tiny_cls_data():
+    train = ShapeClassificationDataset(
+        size=48, num_points=128, seed=0, occlusion=0.0, noise=0.01, rotate=False
+    )
+    test = ShapeClassificationDataset(
+        size=24, num_points=128, seed=90_000, occlusion=0.0, noise=0.01, rotate=False
+    )
+    return train, test
+
+
+class TestClassificationTrainer:
+    def test_loss_decreases(self, tiny_cls_data):
+        train, _ = tiny_cls_data
+        model = PointNetPPClassifier(train.num_classes, np.random.default_rng(0))
+        trainer = ClassificationTrainer(model, FixedSetting(ApproxSetting()), lr=2e-3)
+        report = trainer.train(train, epochs=4)
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_learns_above_chance(self, tiny_cls_data):
+        train, test = tiny_cls_data
+        model = PointNetPPClassifier(train.num_classes, np.random.default_rng(1))
+        trainer = ClassificationTrainer(model, FixedSetting(ApproxSetting()), lr=2e-3)
+        trainer.train(train, epochs=8)
+        acc = trainer.evaluate(test, ApproxSetting())
+        assert acc > 2.5 / train.num_classes  # well above the 12.5% chance
+
+    def test_approximation_without_retraining_hurts(self, tiny_cls_data):
+        train, test = tiny_cls_data
+        model = PointNetPPClassifier(train.num_classes, np.random.default_rng(1))
+        trainer = ClassificationTrainer(model, FixedSetting(ApproxSetting()), lr=2e-3)
+        trainer.train(train, epochs=8)
+        exact = trainer.evaluate(test, ApproxSetting(0, None))
+        harsh = trainer.evaluate(test, ApproxSetting(5, 2))
+        assert harsh < exact
+
+    def test_mixed_training_runs(self, tiny_cls_data):
+        train, _ = tiny_cls_data
+        model = PointNetPPClassifier(train.num_classes, np.random.default_rng(2))
+        sampler = MixedSetting(top_heights=[1, 2, 3], elision_heights=[3, None])
+        trainer = ClassificationTrainer(model, sampler, lr=2e-3)
+        report = trainer.train(train, epochs=2)
+        assert len(report.epoch_losses) == 2
+
+
+class TestSegmentationTrainer:
+    def test_trains_and_evaluates(self):
+        train = PartSegmentationDataset(size=12, num_points=96, seed=0)
+        test = PartSegmentationDataset(size=6, num_points=96, seed=7_000)
+        model = PointNetPPSegmenter(num_part_classes(), np.random.default_rng(0))
+        trainer = SegmentationTrainer(
+            model, num_classes=num_part_classes(), lr=3e-3
+        )
+        report = trainer.train(train, epochs=3)
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+        miou = trainer.evaluate(test, ApproxSetting())
+        assert 0.0 < miou <= 1.0
+
+
+class TestDetectionTrainer:
+    def test_trains_and_evaluates(self):
+        train = LidarDetectionDataset(size=10, num_points=1024, seed=0, num_cars=2)
+        test = LidarDetectionDataset(size=5, num_points=1024, seed=5_000, num_cars=2)
+        model = FrustumPointNet(np.random.default_rng(0))
+        trainer = DetectionTrainer(model, frustum_points=128, lr=3e-3)
+        report = trainer.train(train, epochs=3)
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+        iou = trainer.evaluate(test, ApproxSetting())
+        assert 0.0 < iou <= 1.0
