@@ -24,6 +24,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core import ApproxSetting, ApproximationPipeline, TreeBufferBanking
+from repro.runtime import SearchSession
 from repro.geometry import (
     LidarDetectionDataset,
     PartSegmentationDataset,
@@ -108,8 +109,18 @@ def _sampler(key: SamplerKey):
     raise ValueError(f"unknown sampler key {key!r}")
 
 
+# One search session pools K-d trees and memoized neighbor matrices across
+# every trainer in the suite: neighbor matrices depend only on geometry and
+# the (setting, banking) key — never on weights — so e.g. the exact-setting
+# matrices of one model's baseline trainer are served from cache when
+# another model's baseline queries the same clouds.
+_SESSION = SearchSession(max_results=8192, max_trees=512)
+
+
 def _pipeline(tree_banks: int = 4) -> ApproximationPipeline:
-    return ApproximationPipeline(tree_banking=TreeBufferBanking(tree_banks))
+    return ApproximationPipeline(
+        tree_banking=TreeBufferBanking(tree_banks), session=_SESSION
+    )
 
 
 @functools.lru_cache(maxsize=None)

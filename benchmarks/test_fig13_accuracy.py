@@ -13,6 +13,8 @@ import paperbench as pb
 from repro.analysis import format_table
 from repro.core import ApproxSetting
 
+pytestmark = pytest.mark.slow
+
 SETTING_ANS = ApproxSetting(pb.HEADLINE_HT, None)
 SETTING_BCE = ApproxSetting(pb.HEADLINE_HT, pb.HEADLINE_HE)
 

@@ -6,9 +6,13 @@ h_t sweep is (weakly) decreasing overall and the drop from exact to the
 mid-range h_t is small compared to the drop at the aggressive end.
 """
 
+import pytest
+
 import paperbench as pb
 from repro.analysis import format_series
 from repro.core import ApproxSetting
+
+pytestmark = pytest.mark.slow
 
 HEIGHTS = (0, 2, 4, 6)
 

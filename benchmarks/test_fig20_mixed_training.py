@@ -7,9 +7,13 @@ the high-accuracy regime.  Reproduction target: those orderings hold at
 the sweep's endpoints.
 """
 
+import pytest
+
 import paperbench as pb
 from repro.analysis import format_table
 from repro.core import ApproxSetting
+
+pytestmark = pytest.mark.slow
 
 SWEEP = (0, 1, 2, 4, 6)
 MIXED_KEY = ("mixed", (1, 2, 3, 4, 5, 6), (None,))

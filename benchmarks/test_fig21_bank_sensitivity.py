@@ -6,9 +6,13 @@ accuracy across 8–32 inference banks stays within a few points of the
 4-bank accuracy; the 2-bank end is the worst.
 """
 
+import pytest
+
 import paperbench as pb
 from repro.analysis import format_series
 from repro.core import ApproxSetting, TreeBufferBanking
+
+pytestmark = pytest.mark.slow
 
 BANKS = (2, 4, 8, 16, 32)
 

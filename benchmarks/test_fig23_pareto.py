@@ -7,10 +7,14 @@ Reproduction target: the aggressive setting is the fastest, the gentle
 setting is the most accurate, and the sweep spans a real trade-off range.
 """
 
+import pytest
+
 import paperbench as pb
 from repro.accel import evaluation_hardware, evaluation_networks, workload_points
 from repro.analysis import format_table, knob_performance_sweep
 from repro.core import ApproxSetting
+
+pytestmark = pytest.mark.slow
 
 # Accuracy settings are at model-tree scale; performance settings at
 # workload-tree scale — both use the same relative knob positions.

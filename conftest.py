@@ -1,0 +1,35 @@
+"""Repo-wide pytest configuration shared by ``tests/`` and ``benchmarks/``.
+
+Registers the ``slow`` marker (training-backed figure benchmarks and the
+runtime micro-benchmark carry it; CI's smoke lane deselects them with
+``-m "not slow"``) and provides the shared seed fixture that keeps
+randomized tests deterministic: override with ``REPRO_TEST_SEED`` to
+explore other draws locally — CI always runs the default.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+DEFAULT_TEST_SEED = 20260730
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running test (training-backed benchmarks, perf micro-benchmarks); "
+        'deselected in the CI smoke lane via -m "not slow"',
+    )
+
+
+@pytest.fixture
+def test_seed() -> int:
+    """The suite-wide base seed (``REPRO_TEST_SEED`` overrides)."""
+    return int(os.environ.get("REPRO_TEST_SEED", DEFAULT_TEST_SEED))
+
+
+@pytest.fixture
+def rng(test_seed) -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(test_seed)

@@ -8,6 +8,8 @@ Subpackages
 - :mod:`repro.memsim`   — DRAM/SRAM/cache/energy models
 - :mod:`repro.core`     — the paper's contribution (split-tree search,
   bank-conflict elision, approximation pipeline)
+- :mod:`repro.runtime`  — batched query engine, memoizing search
+  sessions, multiprocessing sweep fan-out
 - :mod:`repro.accel`    — cycle-level accelerator simulator + baselines
 - :mod:`repro.nn`       — NumPy autograd and layers
 - :mod:`repro.models`   — PointNet++ (c/s), DensePoint, F-PointNet
@@ -22,6 +24,7 @@ __all__ = [
     "kdtree",
     "memsim",
     "core",
+    "runtime",
     "accel",
     "nn",
     "models",

@@ -4,7 +4,12 @@ Regenerates the paper's figures from the terminal without pytest::
 
     python -m repro.analysis.cli                 # hardware-side figures
     python -m repro.analysis.cli --figures 2 14  # a subset
+    python -m repro.analysis.cli --workers 4     # fan across processes
     python -m repro.analysis.cli --list          # what's available
+
+Figures are independent experiments, so ``--workers N`` fans them across
+``N`` worker processes through :class:`repro.runtime.SweepRunner`; output
+order matches the requested figure order regardless of worker count.
 
 Training-backed figures (13, 18–21, 23) live in ``benchmarks/`` because
 they reuse the memoized trained models there; this CLI covers everything
@@ -24,6 +29,7 @@ import numpy as np
 
 from ..accel.workloads import evaluation_hardware, evaluation_networks, workload_points
 from ..core.config import ApproxSetting
+from ..runtime.sweep import SweepRunner
 from .characterization import (
     aggregation_conflict_by_network,
     dram_traffic_study,
@@ -185,6 +191,11 @@ FIGURES: Dict[str, Callable[[], str]] = {
 }
 
 
+def _render_figure(fig: str) -> str:
+    """Module-level sweep point (process backends need to pickle it)."""
+    return FIGURES[fig]()
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.cli",
@@ -193,6 +204,10 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--figures", nargs="*", default=sorted(FIGURES, key=int),
         help="figure numbers to run (default: all hardware-side figures)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan independent figures across N worker processes (default: 1)",
     )
     parser.add_argument("--list", action="store_true", help="list figures and exit")
     args = parser.parse_args(argv)
@@ -205,7 +220,12 @@ def main(argv: List[str] | None = None) -> int:
         if fig not in FIGURES:
             print(f"unknown figure {fig!r}; use --list", file=sys.stderr)
             return 2
-        print(FIGURES[fig]())
+    if args.workers < 1:
+        print("--workers must be a positive integer", file=sys.stderr)
+        return 2
+    runner = SweepRunner(num_workers=args.workers, backend="auto")
+    for rendered in runner.map(_render_figure, args.figures):
+        print(rendered)
         print()
     return 0
 

@@ -4,8 +4,9 @@
 the neighbor index matrix a network layer consumes:
 
 1. K-d tree construction over the layer's points,
-2. neighbor search — exact, or Crescent's approximate search under a
-   setting ``h = <h_t, h_e>`` with tree-buffer conflict simulation,
+2. neighbor search — exact (through the batched runtime engine), or
+   Crescent's approximate search under a setting ``h = <h_t, h_e>`` with
+   tree-buffer conflict simulation,
 3. optional point-buffer conflict elision during aggregation (the
    replicating rewrite of the index matrix).
 
@@ -14,18 +15,21 @@ threads through the forward pass: sampling a new ``h`` per input is just
 calling :meth:`query` with a different setting.  Since the index matrix
 depends only on geometry (never on network weights), results are memoized
 per ``(cache_key, setting)`` — the same economy the authors' artifact uses
-to keep training affordable.
+to keep training affordable.  Memoization and tree construction live in a
+:class:`~repro.runtime.SearchSession`: a bounded LRU whose keys fold in a
+digest of the actual point/query coordinates, so reusing a ``cache_key``
+with mutated geometry recomputes instead of returning a stale matrix (the
+hazard the old ad-hoc dict cache had).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Hashable, Optional, Tuple
 
 import numpy as np
 
-from ..kdtree.build import build_kdtree
-from ..kdtree.exact import ball_query
+from ..runtime.batched import BatchedBallQuery
+from ..runtime.session import SearchSession
 from .approx_search import approximate_ball_query
 from .bank_conflict import (
     PointBufferBanking,
@@ -52,6 +56,11 @@ class ApproximationPipeline:
         Concurrent aggregation requests per cycle (paper: 16).
     elide_aggregation:
         Apply the point-buffer replication rewrite (BCE in aggregation).
+    session:
+        The :class:`~repro.runtime.SearchSession` holding the tree and
+        result caches.  Pass a shared session to pool trees/results across
+        pipelines (e.g. the networks of a comparison sweep all query the
+        same clouds); by default each pipeline gets its own.
     """
 
     def __init__(
@@ -61,16 +70,17 @@ class ApproximationPipeline:
         num_pes: int = 4,
         agg_ports: int = 16,
         elide_aggregation: bool = False,
+        session: Optional[SearchSession] = None,
     ):
         self.tree_banking = tree_banking
         self.point_banking = point_banking
         self.num_pes = num_pes
         self.agg_ports = agg_ports
         self.elide_aggregation = elide_aggregation
-        self._cache: Dict[Hashable, Tuple[np.ndarray, np.ndarray]] = {}
+        self.session = session if session is not None else SearchSession()
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        self.session.results.clear()
 
     # ------------------------------------------------------------------
     def query(
@@ -84,48 +94,73 @@ class ApproximationPipeline:
     ) -> np.ndarray:
         """Return the effective ``(M, K)`` neighbor index matrix.
 
-        ``cache_key`` should uniquely identify the *geometry* (e.g.
-        ``(sample_id, layer_name)``); the setting and banking parameters
-        are folded into the memoization key automatically.  Pass ``None``
-        to disable caching (e.g. with augmentation transforms that change
-        geometry every epoch).
+        See :meth:`query_with_counts` for the caching contract; this is
+        the network-layer entry point, which only needs the indices.
         """
-        key: Optional[Hashable] = None
-        if cache_key is not None:
-            key = (
-                cache_key,
-                setting.top_height,
-                setting.elision_height,
-                self.tree_banking.num_banks,
-                self.point_banking.num_banks,
-                self.num_pes,
-                self.agg_ports,
-                self.elide_aggregation,
-                radius,
-                max_neighbors,
-            )
-            hit = self._cache.get(key)
-            if hit is not None:
-                return hit[0]
+        return self.query_with_counts(
+            points, queries, radius, max_neighbors, setting, cache_key
+        )[0]
 
+    def query_with_counts(
+        self,
+        points: np.ndarray,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+        setting: ApproxSetting,
+        cache_key: Optional[Hashable] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(indices, counts)`` — the index matrix plus true-hit counts.
+
+        ``counts[m]`` is the number of real (pre-padding) neighbors of
+        query ``m``, which accuracy studies need to separate genuine
+        neighborhood loss from padding.  Both halves are memoized together,
+        so a cache hit serves counts at no extra cost.
+
+        ``cache_key`` should identify the *call site* (e.g. ``(sample_id,
+        layer_name)``); the setting and banking parameters are folded into
+        the memoization key automatically, and a digest of the actual
+        coordinates guards against key reuse across mutated geometry.
+        Pass ``None`` to disable caching (e.g. with augmentation
+        transforms that change geometry every epoch).
+        """
         points = np.asarray(points, dtype=np.float64)
-        tree = build_kdtree(points)
-        if setting.uses_split_tree or setting.uses_elision:
-            indices, counts, _ = approximate_ball_query(
-                tree,
-                queries,
-                radius,
-                max_neighbors,
-                setting,
-                banking=self.tree_banking,
-                num_pes=self.num_pes,
-            )
-        else:
-            indices, counts = ball_query(tree, queries, radius, max_neighbors)
-        if self.elide_aggregation:
-            indices = apply_aggregation_elision(
-                indices, self.point_banking, self.agg_ports
-            )
-        if key is not None:
-            self._cache[key] = (indices, counts)
-        return indices
+        queries_arr = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+
+        def compute() -> Tuple[np.ndarray, np.ndarray]:
+            tree = self.session.tree_for(points)
+            if setting.uses_split_tree or setting.uses_elision:
+                indices, counts, _ = approximate_ball_query(
+                    tree,
+                    queries_arr,
+                    radius,
+                    max_neighbors,
+                    setting,
+                    banking=self.tree_banking,
+                    num_pes=self.num_pes,
+                )
+            else:
+                indices, counts = BatchedBallQuery(tree).query(
+                    queries_arr, radius, max_neighbors
+                )
+            if self.elide_aggregation:
+                indices = apply_aggregation_elision(
+                    indices, self.point_banking, self.agg_ports
+                )
+            return indices, counts
+
+        if cache_key is None:
+            return compute()
+        key = (
+            cache_key,
+            setting.top_height,
+            setting.elision_height,
+            self.tree_banking.num_banks,
+            self.point_banking.num_banks,
+            self.num_pes,
+            self.agg_ports,
+            self.elide_aggregation,
+            radius,
+            max_neighbors,
+        )
+        return self.session.memoize(key, (points, queries_arr), compute)

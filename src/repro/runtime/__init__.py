@@ -1,0 +1,31 @@
+"""Batched query runtime: the performance layer under the network-facing API.
+
+Three pieces, composable but independently usable:
+
+- :class:`BatchedBallQuery` — all M queries of a layer advance together as
+  NumPy frontier arrays; bit-identical to the per-query reference searcher
+  (:func:`repro.kdtree.exact.ball_query`), which the parity suite enforces.
+- :class:`SearchSession` — owns K-d tree construction and result
+  memoization behind geometry-digested LRU caches (no stale hits when a
+  caller reuses a cache key with mutated points).
+- :class:`SweepRunner` — fans parameter sweeps across ``multiprocessing``
+  workers with deterministic, order-preserving results.
+
+The step-machines in :mod:`repro.kdtree.traversal` remain the behavioral
+reference for hardware statistics; this package only accelerates the paths
+whose *results* are what matters (training, accuracy sweeps, figures).
+"""
+
+from .batched import BatchedBallQuery, batched_ball_query
+from .session import CacheStats, LruCache, SearchSession, geometry_digest
+from .sweep import SweepRunner
+
+__all__ = [
+    "BatchedBallQuery",
+    "batched_ball_query",
+    "CacheStats",
+    "LruCache",
+    "SearchSession",
+    "geometry_digest",
+    "SweepRunner",
+]

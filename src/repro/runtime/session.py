@@ -1,0 +1,178 @@
+"""Search sessions: tree construction + memoization for repeated queries.
+
+A :class:`SearchSession` owns the two caches the query runtime needs:
+
+* a **tree cache** — K-d trees keyed by a digest of the point coordinates,
+  so a sweep that queries the same cloud under many settings builds the
+  tree once instead of once per call;
+* a **result cache** — an LRU of query results keyed by ``(caller key,
+  geometry digest)``.
+
+Digesting the geometry (rather than trusting a caller-supplied
+``cache_key`` alone, as the ad-hoc dict in earlier revisions of
+:mod:`repro.core.pipeline` did) closes a stale-cache hazard: reusing a
+``cache_key`` after mutating the underlying points used to silently return
+the previous geometry's neighbor matrix.  With the digest folded into
+every key, mutated points simply miss the cache and recompute.
+
+Both caches are bounded LRUs, so long training runs cannot grow memory
+without limit the way the unbounded dict could.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..kdtree.build import KdTree, build_kdtree
+from .batched import BatchedBallQuery
+
+__all__ = ["CacheStats", "LruCache", "SearchSession", "geometry_digest"]
+
+
+def geometry_digest(*arrays: np.ndarray) -> str:
+    """Content digest of one or more arrays (dtype- and shape-sensitive)."""
+    h = hashlib.blake2b(digest_size=16)
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruCache:
+    """A small least-recently-used mapping with hit/miss accounting."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable):
+        """Return the cached value or ``None``, refreshing recency."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class SearchSession:
+    """Owns trees and memoized results for a stream of neighbor queries.
+
+    One session is typically shared by every layer of a network (and every
+    configuration of a sweep), the same economy the authors' artifact uses
+    to keep approximation-aware training affordable.
+
+    Parameters
+    ----------
+    max_results:
+        Result-cache capacity (entries, LRU-evicted).
+    max_trees:
+        Tree-cache capacity.  Trees are keyed by point-coordinate digest,
+        so in-place mutation of a cloud naturally re-keys.
+    """
+
+    def __init__(self, max_results: int = 512, max_trees: int = 64):
+        self.results = LruCache(max_results)
+        self.trees = LruCache(max_trees)
+
+    # ------------------------------------------------------------------
+    def tree_for(self, points: np.ndarray) -> KdTree:
+        """Build (or fetch) the K-d tree over ``points``."""
+        points = np.asarray(points, dtype=np.float64)
+        key = geometry_digest(points)
+        tree = self.trees.get(key)
+        if tree is None:
+            tree = build_kdtree(points)
+            self.trees.put(key, tree)
+        return tree
+
+    def ball_query(
+        self,
+        points: np.ndarray,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+        cache_key: Optional[Hashable] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact batched ball query with optional memoization.
+
+        Bit-identical to :func:`repro.kdtree.exact.ball_query` over the
+        session-built tree (the parity suite pins this down).
+        """
+        points = np.asarray(points, dtype=np.float64)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+
+        def compute() -> Tuple[np.ndarray, np.ndarray]:
+            tree = self.tree_for(points)
+            return BatchedBallQuery(tree).query(queries, radius, max_neighbors)
+
+        if cache_key is None:
+            return compute()
+        return self.memoize(
+            ("ball_query", cache_key, radius, max_neighbors),
+            (points, queries),
+            compute,
+        )
+
+    def memoize(
+        self,
+        key: Hashable,
+        geometry: Tuple[np.ndarray, ...],
+        compute: Callable[[], object],
+    ):
+        """Return ``compute()``, cached under ``(key, digest(geometry))``.
+
+        The digest makes the memoization safe against callers that reuse
+        ``key`` with mutated arrays: the stale entry is simply never hit
+        again (and eventually ages out of the LRU).
+        """
+        full_key = (key, geometry_digest(*geometry))
+        cached = self.results.get(full_key)
+        if cached is None:
+            cached = compute()
+            self.results.put(full_key, cached)
+        return cached
+
+    def clear(self) -> None:
+        self.results.clear()
+        self.trees.clear()

@@ -11,12 +11,14 @@ paper, so end-to-end differentiability is untouched.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.config import ApproxSetting
+from ..runtime.sweep import SweepRunner
 from ..geometry.datasets import (
     LidarDetectionDataset,
     PartSegmentationDataset,
@@ -85,6 +87,36 @@ class _BaseTrainer:
                 losses.append(loss.item())
             report.epoch_losses.append(float(np.mean(losses)))
         return report
+
+    def evaluate(self, dataset, setting: ApproxSetting) -> float:
+        raise NotImplementedError
+
+    def evaluate_settings(
+        self,
+        dataset,
+        settings: Sequence[ApproxSetting],
+        runner: Optional[SweepRunner] = None,
+    ) -> Dict[ApproxSetting, float]:
+        """Evaluate under several inference-time settings (the Fig. 13/18/19
+        sweep shape); returns ``{setting: metric}`` in input order.
+
+        The sweep fans through a :class:`~repro.runtime.SweepRunner`.  The
+        default is the serial backend — every sweep point then shares this
+        trainer's memoized neighbor matrices, which is usually faster than
+        paying a cold cache per worker; pass a process-backed runner for
+        wide sweeps over slow models.
+        """
+        settings = list(settings)
+        runner = runner if runner is not None else SweepRunner(backend="serial")
+        scores = runner.map(
+            functools.partial(_evaluate_one, self, dataset), settings
+        )
+        return dict(zip(settings, scores))
+
+
+def _evaluate_one(trainer: "_BaseTrainer", dataset, setting: ApproxSetting) -> float:
+    """Module-level sweep point so process-backed runners can pickle it."""
+    return trainer.evaluate(dataset, setting)
 
 
 class ClassificationTrainer(_BaseTrainer):

@@ -1,0 +1,111 @@
+"""Regression snapshots for the approximate search path.
+
+Golden-file test: neighbor recall per ``(h_t, h_e)`` setting on a fixed
+seeded workload, pinned to ``tests/golden/approx_recall.json``.  Accuracy
+figures (13, 18, 19) ultimately rest on these recall numbers, so a
+refactor of :mod:`repro.core.approx_search` that shifts them — changed
+descent tie-breaking, different elision arbitration, a reordered dedup —
+fails here immediately instead of surfacing as a mysteriously drifted
+figure three layers up.
+
+To regenerate after an *intentional* behavior change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src pytest tests/test_approx_snapshot.py
+
+and commit the diff with the justification.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxSetting, TreeBufferBanking
+from repro.core.approx_search import approximate_ball_query
+from repro.kdtree import ball_query, build_kdtree
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "approx_recall.json"
+
+# Workload constants are part of the snapshot contract — changing any of
+# them requires regenerating the golden file.
+SNAPSHOT_SEED = 1337
+N_POINTS = 256
+N_QUERIES = 64
+RADIUS = 0.45
+MAX_NEIGHBORS = 16
+SETTINGS = [
+    (0, None),
+    (2, None),
+    (4, None),
+    (6, None),
+    (2, 4),
+    (2, 6),
+    (4, 4),
+    (4, 6),
+]
+
+
+def _workload():
+    rng = np.random.default_rng(SNAPSHOT_SEED)
+    pts = rng.normal(size=(N_POINTS, 3))
+    queries = pts[rng.choice(N_POINTS, N_QUERIES, replace=False)]
+    return pts, queries
+
+
+def _setting_key(ht, he):
+    return f"ht={ht},he={he}"
+
+
+def compute_recalls():
+    """Mean per-query neighbor recall of the approximate search vs exact."""
+    pts, queries = _workload()
+    tree = build_kdtree(pts)
+    exact_idx, exact_cnt = ball_query(tree, queries, RADIUS, MAX_NEIGHBORS)
+    out = {}
+    for ht, he in SETTINGS:
+        approx_idx, approx_cnt, _ = approximate_ball_query(
+            tree, queries, RADIUS, MAX_NEIGHBORS,
+            ApproxSetting(ht, he), banking=TreeBufferBanking(4), num_pes=4,
+        )
+        recalls = []
+        for i in range(N_QUERIES):
+            truth = set(exact_idx[i, : exact_cnt[i]].tolist())
+            if not truth:
+                continue
+            kept = set(approx_idx[i, : approx_cnt[i]].tolist())
+            recalls.append(len(kept & truth) / len(truth))
+        out[_setting_key(ht, he)] = round(float(np.mean(recalls)), 12)
+    return out
+
+
+def test_recall_snapshot_matches_golden_file():
+    recalls = compute_recalls()
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(recalls, indent=2) + "\n")
+        pytest.skip(f"golden file regenerated at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; generate with REPRO_UPDATE_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert set(recalls) == set(golden), "settings grid changed — regenerate golden"
+    for key, value in golden.items():
+        assert recalls[key] == pytest.approx(value, abs=1e-9), (
+            f"recall drifted for {key}: golden {value}, got {recalls[key]}; "
+            "if intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+        )
+
+
+def test_snapshot_internal_consistency():
+    """Sanity structure the snapshot itself must always satisfy."""
+    recalls = compute_recalls()
+    assert recalls[_setting_key(0, None)] == pytest.approx(1.0)  # exact baseline
+    # A taller top tree can only lose more cross-boundary neighbors.
+    assert recalls[_setting_key(2, None)] >= recalls[_setting_key(4, None)] - 1e-9
+    assert recalls[_setting_key(4, None)] >= recalls[_setting_key(6, None)] - 1e-9
+    # Elision on top of ANS can only lose more than ANS alone.
+    for ht in (2, 4):
+        assert recalls[_setting_key(ht, 4)] <= recalls[_setting_key(ht, None)] + 1e-9
+    assert all(0.0 <= v <= 1.0 for v in recalls.values())

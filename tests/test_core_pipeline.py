@@ -65,6 +65,55 @@ class TestPipeline:
         b = pipe.query(pts, queries, 0.5, 8, ApproxSetting(1, None))
         assert a is not b
 
+    def test_query_with_counts_exact_path(self):
+        pts, queries = problem(seed=7)
+        pipe = ApproximationPipeline()
+        indices, counts = pipe.query_with_counts(
+            pts, queries, 0.5, 8, ApproxSetting(0, None)
+        )
+        tree = build_kdtree(pts)
+        want_idx, want_cnt = ball_query(tree, queries, 0.5, 8)
+        assert np.array_equal(indices, want_idx)
+        assert np.array_equal(counts, want_cnt)
+
+    def test_counts_served_from_cache_hit(self):
+        # Counts used to be stored in the cache but unreachable; the hit
+        # path must now hand back the exact cached objects.
+        pts, queries = problem(seed=8)
+        pipe = ApproximationPipeline()
+        idx_a, cnt_a = pipe.query_with_counts(
+            pts, queries, 0.5, 8, ApproxSetting(2, 3), cache_key="k"
+        )
+        assert pipe.session.results.stats.hits == 0
+        idx_b, cnt_b = pipe.query_with_counts(
+            pts, queries, 0.5, 8, ApproxSetting(2, 3), cache_key="k"
+        )
+        assert pipe.session.results.stats.hits == 1
+        assert idx_a is idx_b
+        assert cnt_a is cnt_b
+
+    def test_query_and_query_with_counts_share_cache(self):
+        pts, queries = problem(seed=9)
+        pipe = ApproximationPipeline()
+        indices = pipe.query(pts, queries, 0.5, 8, ApproxSetting(1, None), cache_key="k")
+        idx2, counts = pipe.query_with_counts(
+            pts, queries, 0.5, 8, ApproxSetting(1, None), cache_key="k"
+        )
+        assert indices is idx2  # one entry serves both call shapes
+        assert counts.shape == (len(queries),)
+
+    def test_mutated_points_do_not_hit_stale_cache(self):
+        # The stale-cache hazard: same cache_key, different geometry.
+        pts, queries = problem(seed=10)
+        pipe = ApproximationPipeline()
+        stale = pipe.query(pts, queries, 0.5, 8, ApproxSetting(0, None), cache_key="k")
+        moved = pts + 0.35
+        fresh = pipe.query(moved, queries, 0.5, 8, ApproxSetting(0, None), cache_key="k")
+        tree = build_kdtree(moved)
+        want, _ = ball_query(tree, queries, 0.5, 8)
+        assert np.array_equal(fresh, want)
+        assert not np.array_equal(stale, fresh)
+
     def test_aggregation_elision_rewrites_indices(self):
         pts, queries = problem(n=512, m=64, seed=6)
         plain = ApproximationPipeline(elide_aggregation=False)

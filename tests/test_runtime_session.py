@@ -1,0 +1,110 @@
+"""SearchSession: tree caching, LRU memoization, stale-geometry safety."""
+
+import numpy as np
+import pytest
+
+from repro.kdtree import ball_query
+from repro.runtime import LruCache, SearchSession, geometry_digest
+
+
+class TestGeometryDigest:
+    def test_content_sensitive(self, rng):
+        a = rng.normal(size=(20, 3))
+        b = a.copy()
+        assert geometry_digest(a) == geometry_digest(b)
+        b[7, 1] += 1e-12
+        assert geometry_digest(a) != geometry_digest(b)
+
+    def test_shape_and_dtype_sensitive(self):
+        flat = np.zeros(12)
+        assert geometry_digest(flat) != geometry_digest(flat.reshape(4, 3))
+        assert geometry_digest(flat) != geometry_digest(flat.astype(np.float32))
+
+    def test_multiple_arrays_are_order_sensitive(self, rng):
+        a, b = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+        assert geometry_digest(a, b) != geometry_digest(b, a)
+
+
+class TestLruCache:
+    def test_hit_miss_accounting(self):
+        cache = LruCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LruCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(max_entries=0)
+
+
+class TestSearchSession:
+    def test_tree_for_reuses_tree(self, rng):
+        session = SearchSession()
+        pts = rng.normal(size=(50, 3))
+        assert session.tree_for(pts) is session.tree_for(pts.copy())
+        assert session.trees.stats.hits == 1
+
+    def test_tree_for_rebuilds_on_mutation(self, rng):
+        session = SearchSession()
+        pts = rng.normal(size=(50, 3))
+        t1 = session.tree_for(pts)
+        pts[0] += 1.0
+        t2 = session.tree_for(pts)
+        assert t1 is not t2
+
+    def test_ball_query_matches_reference(self, rng):
+        session = SearchSession()
+        pts = rng.normal(size=(200, 3))
+        queries = pts[:40]
+        idx, cnt = session.ball_query(pts, queries, 0.4, 8)
+        want_idx, want_cnt = ball_query(session.tree_for(pts), queries, 0.4, 8)
+        np.testing.assert_array_equal(idx, want_idx)
+        np.testing.assert_array_equal(cnt, want_cnt)
+
+    def test_memoized_query_returns_cached_object(self, rng):
+        session = SearchSession()
+        pts = rng.normal(size=(80, 3))
+        a = session.ball_query(pts, pts[:10], 0.3, 4, cache_key="layer0")
+        b = session.ball_query(pts, pts[:10], 0.3, 4, cache_key="layer0")
+        assert a is b
+
+    def test_stale_cache_hazard_is_fixed(self, rng):
+        # The regression the geometry digest exists for: reuse a cache_key
+        # after mutating the points and the session must NOT serve the old
+        # geometry's neighbor matrix.
+        session = SearchSession()
+        pts = rng.normal(size=(120, 3))
+        queries = pts[:20].copy()
+        stale_idx, _ = session.ball_query(pts, queries, 0.4, 6, cache_key="k")
+        pts += rng.normal(size=pts.shape)  # same key, new geometry
+        fresh_idx, fresh_cnt = session.ball_query(pts, queries, 0.4, 6, cache_key="k")
+        want_idx, want_cnt = ball_query(session.tree_for(pts), queries, 0.4, 6)
+        np.testing.assert_array_equal(fresh_idx, want_idx)
+        np.testing.assert_array_equal(fresh_cnt, want_cnt)
+        assert not np.array_equal(stale_idx, fresh_idx)
+
+    def test_result_cache_is_bounded(self, rng):
+        session = SearchSession(max_results=3)
+        pts = rng.normal(size=(30, 3))
+        for i in range(6):
+            session.ball_query(pts, pts[i : i + 4], 0.5, 4, cache_key=("q", i))
+        assert len(session.results) == 3
+        assert session.results.stats.evictions == 3
+
+    def test_clear(self, rng):
+        session = SearchSession()
+        pts = rng.normal(size=(30, 3))
+        session.ball_query(pts, pts[:4], 0.5, 4, cache_key="k")
+        session.clear()
+        assert len(session.results) == 0 and len(session.trees) == 0
