@@ -1,0 +1,91 @@
+"""Benchmark-lane guard for the vectorized lockstep engine.
+
+The figure benchmarks lean on :class:`repro.runtime.VectorizedLockstep`
+for every conflict-simulated search, so a regression that silently sends
+the hot path back to per-step Python speed would slow the whole suite
+without failing anything.  This bench runs in the CI smoke lane (it is
+*not* marked slow): a down-scaled lockstep workload, an identity check
+against the reference engine, and a conservative speed floor — well under
+the ≥5x the full-size ``tests/test_runtime_perf.py`` bench demonstrates,
+so shared-runner noise cannot flake it, but far above any Python-loop
+fallback (which measures at ~0.3x-1x here).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TreeBufferBanking
+from repro.kdtree import build_kdtree
+from repro.memsim import SramStats
+from repro.runtime import VectorizedLockstep
+
+N_POINTS = 2048
+N_QUERIES = 1024
+RADIUS = 0.25
+MAX_NEIGHBORS = 16
+TOP_HEIGHT = 5  # proportional split for the height-12 tree
+ELISION = 9
+NUM_PES = 8
+NUM_BANKS = 8
+MIN_SPEEDUP = 1.8
+
+
+@pytest.fixture(scope="module")
+def workload(lockstep_groups_builder):
+    rng = np.random.default_rng(20260730)
+    pts = rng.normal(size=(N_POINTS, 3))
+    queries = pts[rng.permutation(N_POINTS)[:N_QUERIES]]
+    tree = build_kdtree(pts)
+    groups, split = lockstep_groups_builder(tree, queries, TOP_HEIGHT)
+    return tree, queries, split, groups
+
+
+def run_vectorized(tree, queries, groups):
+    sram = SramStats()
+    engine = VectorizedLockstep(
+        tree, banking=TreeBufferBanking(NUM_BANKS), num_pes=NUM_PES
+    )
+    mach_queries = np.concatenate([q for _, q in groups])
+    outcome = engine.run(
+        queries, RADIUS, groups,
+        np.full(len(mach_queries), MAX_NEIGHBORS, dtype=np.int64),
+        elide_depth=ELISION, sram=sram,
+    )
+    hits = {int(q): h for q, h in zip(mach_queries, outcome.hits)}
+    return outcome.cycles, outcome.stalls, hits, sram
+
+
+def test_lockstep_vectorization_does_not_regress(workload, reference_lockstep_driver):
+    tree, queries, split, groups = workload
+    run_vectorized(tree, queries, groups)  # warm-up
+
+    def run_reference():
+        cycles, stalls, hits, _, sram = reference_lockstep_driver(
+            tree, queries, split, groups, RADIUS, MAX_NEIGHBORS, ELISION,
+            NUM_PES, TreeBufferBanking(NUM_BANKS),
+        )
+        return cycles, stalls, hits, sram
+
+    t0 = time.perf_counter()
+    ref = run_reference()
+    ref_time = time.perf_counter() - t0
+    vec_time = float("inf")
+    vec = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        vec = run_vectorized(tree, queries, groups)
+        vec_time = min(vec_time, time.perf_counter() - t0)
+
+    assert vec[0] == ref[0]  # cycles
+    assert vec[1] == ref[1]  # stalls
+    assert vec[2] == ref[2]  # per-machine hit lists
+    for field in ("accesses", "conflicted", "elided", "broadcasts",
+                  "reads_served", "cycles"):
+        assert getattr(vec[3], field) == getattr(ref[3], field), field
+    speedup = ref_time / vec_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized lockstep only {speedup:.2f}x faster "
+        f"({ref_time:.3f}s reference vs {vec_time:.3f}s vectorized)"
+    )

@@ -5,6 +5,13 @@ runtime micro-benchmark carry it; CI's smoke lane deselects them with
 ``-m "not slow"``) and provides the shared seed fixture that keeps
 randomized tests deterministic: override with ``REPRO_TEST_SEED`` to
 explore other draws locally — CI always runs the default.
+
+Also hosts the *pinned per-step lockstep reference driver* used by the
+equivalence suite (``tests/test_runtime_lockstep.py``) and both perf
+benches (``tests/test_runtime_perf.py``, ``benchmarks/test_lockstep_perf.py``):
+one definition of "drive one SubtreeSearch machine per query through
+``run_subtree_lockstep``" keeps all three suites testing the same
+reference semantics.
 """
 
 import os
@@ -13,6 +20,64 @@ import numpy as np
 import pytest
 
 DEFAULT_TEST_SEED = 20260730
+
+
+def _build_lockstep_groups(tree, queries, top_height):
+    """Bucket ``queries`` per sub-tree root, in queue order.
+
+    Returns ``(groups, split)`` where ``groups`` is the
+    ``[(root, query_ids), ...]`` list both lockstep engines consume.
+    """
+    from repro.core.split_tree import SplitTree
+
+    split = SplitTree(tree, top_height)
+    assigned = split.route_queries(queries)
+    uniq, inverse = np.unique(assigned, return_inverse=True)
+    groups = [
+        (int(root), np.nonzero(inverse == gi)[0]) for gi, root in enumerate(uniq)
+    ]
+    return groups, split
+
+
+def _drive_reference_lockstep(
+    tree, queries, split, groups, radius, max_neighbors, elide_depth,
+    num_pes, banking, elide_policy="skip",
+):
+    """The per-step reference: one SubtreeSearch machine per query driven
+    through ``run_subtree_lockstep``, sub-tree by sub-tree.
+
+    Returns ``(cycles, stalls, hits_by_query, traversal_stats, sram_stats)``
+    — the fingerprint the vectorized engine must reproduce exactly.
+    """
+    from repro.core.approx_search import run_subtree_lockstep
+    from repro.kdtree.stats import TraversalStats
+    from repro.kdtree.traversal import SubtreeSearch
+    from repro.memsim.sram import SramStats
+
+    stats, sram = TraversalStats(), SramStats()
+    cycles = stalls = 0
+    hits = {}
+    for root, q_ids in groups:
+        machines = [
+            SubtreeSearch(
+                tree, queries[qi], radius, root=root,
+                max_neighbors=max_neighbors, elide_depth=elide_depth,
+                stats=stats,
+            )
+            for qi in q_ids
+        ]
+        slot_map = {
+            int(node): i for i, node in enumerate(split.subtree_nodes(root))
+        }
+        c, s = run_subtree_lockstep(
+            machines, slot_map, banking, num_pes, sram,
+            elide_policy=elide_policy,
+        )
+        cycles += c
+        stalls += s
+        for qi, machine in zip(q_ids, machines):
+            hits[int(qi)] = list(machine.hits)
+    return cycles, stalls, hits, stats, sram
 
 
 def pytest_configure(config):
@@ -27,6 +92,21 @@ def pytest_configure(config):
 def test_seed() -> int:
     """The suite-wide base seed (``REPRO_TEST_SEED`` overrides)."""
     return int(os.environ.get("REPRO_TEST_SEED", DEFAULT_TEST_SEED))
+
+
+# The helpers are handed out as fixtures (rather than imported by module
+# name) because both the repo root and benchmarks/ have a conftest.py —
+# ``import conftest`` would resolve to whichever is first on sys.path.
+@pytest.fixture(scope="session")
+def lockstep_groups_builder():
+    """``(tree, queries, top_height) -> (groups, split)``."""
+    return _build_lockstep_groups
+
+
+@pytest.fixture(scope="session")
+def reference_lockstep_driver():
+    """The pinned per-step reference lockstep driver (see module docs)."""
+    return _drive_reference_lockstep
 
 
 @pytest.fixture

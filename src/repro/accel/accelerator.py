@@ -17,14 +17,16 @@ matrix that aggregation consumes, which feeds the MLP).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Tuple
+from typing import List, Optional, Protocol, Sequence, Tuple, Type
 
 import numpy as np
 
 from ..core.config import ApproxSetting, CrescentHardwareConfig
-from ..kdtree.build import KdTree, build_kdtree
+from ..kdtree.build import KdTree
 from ..memsim.dram import DramUsage
 from ..memsim.energy import EnergyBreakdown
+from ..runtime.session import SearchSession
+from ..runtime.sweep import SweepRunner
 from .aggregation import AggregationUnit
 from .search_engine import NeighborSearchEngine, SearchEngineResult
 from .systolic import SystolicArray
@@ -146,6 +148,12 @@ class PointCloudAccelerator:
 
     ``elide_aggregation`` selects the point-buffer service discipline
     (Crescent's BCE vs the baseline's stall-and-retry).
+
+    ``session`` owns the K-d tree (and, for the default Crescent engine,
+    split-tree) caches, so sweeps that revisit the same clouds —
+    ``run_many``, the Fig. 22/23 drivers, repeated ``run_network`` calls —
+    stop rebuilding trees per layer call.  One private session per
+    accelerator by default; pass a shared one to pool across accelerators.
     """
 
     def __init__(
@@ -153,9 +161,13 @@ class PointCloudAccelerator:
         hw: CrescentHardwareConfig = CrescentHardwareConfig(),
         search_engine: Optional[SearchEngineProtocol] = None,
         elide_aggregation: bool = False,
+        session: Optional[SearchSession] = None,
     ):
         self.hw = hw
-        self.search_engine = search_engine or NeighborSearchEngine(hw)
+        self.session = session if session is not None else SearchSession()
+        self.search_engine = search_engine or NeighborSearchEngine(
+            hw, session=self.session
+        )
         self.aggregation = AggregationUnit(hw)
         self.systolic = SystolicArray(hw.systolic_rows, hw.systolic_cols)
         self.elide_aggregation = elide_aggregation
@@ -176,7 +188,7 @@ class PointCloudAccelerator:
                 f"{len(points)} points"
             )
         queries = points[rng.choice(len(points), spec.num_queries, replace=False)]
-        tree = build_kdtree(points)
+        tree = self.session.tree_for(points)
         indices, counts, search = self.search_engine.run(
             tree, queries, spec.radius, spec.max_neighbors, setting
         )
@@ -239,3 +251,75 @@ class PointCloudAccelerator:
                 )
             )
         return result
+
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        spec: NetworkSpec,
+        clouds: Sequence[np.ndarray],
+        settings: Sequence[ApproxSetting],
+        seed: int = 0,
+        runner: Optional[SweepRunner] = None,
+    ) -> List[List[NetworkResult]]:
+        """Run ``spec`` for every ``settings x clouds`` combination.
+
+        The network-level sweep entry: ``results[i][j]`` is
+        ``run_network(spec, clouds[j], settings[i], seed)``, so a figure
+        driver gets its whole settings-by-clouds grid in one call.  With a
+        :class:`~repro.runtime.SweepRunner` the grid fans out across
+        worker processes (order-preserving, so tables stay deterministic);
+        the default runs serially through this accelerator's shared
+        session, which reuses each cloud's trees across every setting.
+
+        Worker processes rebuild the accelerator from picklable parts —
+        the hardware config, the elision flag, and the search engine
+        *class* (reconstructed as ``type(engine)(hw)``) — so engines with
+        unpicklable runtime state still sweep; engines whose constructors
+        need more than ``hw`` should be swept serially.  The rebuild only
+        happens when the runner will actually engage its pool: a runner
+        that resolves to serial execution (``backend="serial"``, or
+        ``"auto"`` with one worker or one job) takes the faithful
+        in-process path through this accelerator's own engine.
+        """
+        clouds = list(clouds)
+        settings = list(settings)
+        if runner is None or not runner.will_fan_out(len(settings) * len(clouds)):
+            return [
+                [
+                    self.run_network(spec, cloud, setting, seed=seed)
+                    for cloud in clouds
+                ]
+                for setting in settings
+            ]
+        jobs = [
+            (
+                self.hw,
+                type(self.search_engine),
+                self.elide_aggregation,
+                spec,
+                np.asarray(cloud, dtype=np.float64),
+                setting,
+                seed,
+            )
+            for setting in settings
+            for cloud in clouds
+        ]
+        flat = runner.starmap(_run_network_job, jobs)
+        ncols = len(clouds)
+        return [flat[i : i + ncols] for i in range(0, len(flat), ncols)]
+
+
+def _run_network_job(
+    hw: CrescentHardwareConfig,
+    engine_cls: Type,
+    elide_aggregation: bool,
+    spec: NetworkSpec,
+    cloud: np.ndarray,
+    setting: ApproxSetting,
+    seed: int,
+) -> NetworkResult:
+    """One ``run_many`` sweep point (module-level: process pools pickle it)."""
+    accelerator = PointCloudAccelerator(
+        hw, engine_cls(hw), elide_aggregation=elide_aggregation
+    )
+    return accelerator.run_network(spec, cloud, setting, seed=seed)

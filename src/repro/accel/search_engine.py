@@ -20,14 +20,17 @@ Combines the functional approximate search of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.session import SearchSession
 
 from ..core.approx_search import SearchReport, approximate_ball_query
 from ..core.bank_conflict import TreeBufferBanking
 from ..core.config import ApproxSetting, CrescentHardwareConfig
-from ..core.split_tree import SplitTree
+from ..core.split_tree import SplitTree, descend_step
 from ..kdtree.build import NODE_BYTES, KdTree
 from ..memsim.dram import DramModel, DramUsage
 from ..memsim.energy import EnergyBreakdown
@@ -51,48 +54,87 @@ class SearchEngineResult:
     energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
     top_phase_cycles: int = 0
     sub_phase_cycles: int = 0
+    top_phase_stalls: int = 0
 
 
 class NeighborSearchEngine:
-    """Batch-level model of the Crescent search engine."""
+    """Batch-level model of the Crescent search engine.
 
-    def __init__(self, hw: CrescentHardwareConfig = CrescentHardwareConfig()):
+    ``session`` (optional) pools K-d split-tree layouts across calls —
+    a sweep that reruns the same tree under many settings lays the memory
+    image out once per ``h_t``; see
+    :meth:`repro.runtime.SearchSession.split_tree_for`.
+    """
+
+    def __init__(
+        self,
+        hw: CrescentHardwareConfig = CrescentHardwareConfig(),
+        session: Optional["SearchSession"] = None,
+    ):
         self.hw = hw
         self.banking = TreeBufferBanking(num_banks=hw.tree_buffer.num_banks)
+        self.session = session
+
+    def _split_for(self, tree: KdTree, top_height: int) -> SplitTree:
+        if self.session is not None:
+            return self.session.split_tree_for(tree, top_height)
+        return SplitTree(tree, top_height)
 
     # ------------------------------------------------------------------
     def _top_phase(
-        self, tree: KdTree, queries: np.ndarray, top_height: int
+        self, split: SplitTree, queries: np.ndarray
     ) -> Tuple[int, int]:
-        """Cycles and stalls of the level-synchronous top-tree descent."""
+        """Cycles and stalls of the level-synchronous top-tree descent.
+
+        Fetches go through the *top-tree buffer slot* (the node's position
+        in the streamed top-tree image) — the same record-interleaved
+        layout convention the sub-tree phase banks on, not the global node
+        id.  Stall accounting is per losing PE: every PE whose node is not
+        the bank's first-served request waits out the serialization, so a
+        bank serving ``c`` distinct nodes for ``p`` PEs charges ``p``
+        minus the first-served node's PE count stalls (PEs fetching the
+        same node share one broadcast read and are served together).  A
+        query whose branch runs out of children early parks: it issues no
+        further fetches, matching the functional phase-1 accounting.
+        """
+        tree = split.tree
+        top_height = split.top_height
         if top_height == 0:
             return 0, 0
         num_pes = self.hw.num_pes
+        top_nodes = split.top_nodes  # ascending ids == buffer layout order
         m = len(queries)
         total_cycles = 0
         total_stalls = 0
         for start in range(0, m, num_pes):
             group = queries[start : start + num_pes]
             current = np.full(len(group), tree.root, dtype=np.int64)
+            alive = np.ones(len(group), dtype=bool)
             for _ in range(top_height):
+                fetching = np.nonzero(alive)[0]
+                if len(fetching) == 0:
+                    break
                 # Same node ⇒ broadcast; same bank, different node ⇒ stall.
-                uniq_nodes = np.unique(current)
-                banks = self.banking.bank_of_slot(uniq_nodes)
+                uniq_nodes, pe_counts = np.unique(
+                    current[fetching], return_counts=True
+                )
+                slots = np.searchsorted(top_nodes, uniq_nodes)
+                banks = self.banking.bank_of_slot(slots)
                 occupancy = np.bincount(banks, minlength=self.banking.num_banks)
                 level_cycles = int(occupancy.max()) if len(uniq_nodes) else 1
                 total_cycles += level_cycles
-                total_stalls += level_cycles - 1
-                rows = np.arange(len(group))
-                pts = tree.points[tree.point_id[current]]
-                dims = tree.split_dim[current]
-                go_left = group[rows, dims] <= pts[rows, dims]
-                nxt = np.where(go_left, tree.left[current], tree.right[current])
-                missing = nxt < 0
-                if missing.any():
-                    alt = np.where(go_left, tree.right[current], tree.left[current])
-                    nxt = np.where(missing, alt, nxt)
-                    nxt = np.where(nxt < 0, current, nxt)
-                current = nxt.astype(np.int64)
+                # One stall per losing PE: nodes after the first served in
+                # their bank keep their PEs waiting (np.unique orders
+                # nodes ascending, the buffer's service order).
+                order = np.argsort(banks, kind="stable")
+                first_in_bank = np.ones(len(order), dtype=bool)
+                sorted_banks = banks[order]
+                first_in_bank[1:] = sorted_banks[1:] != sorted_banks[:-1]
+                total_stalls += int(pe_counts[order][~first_in_bank].sum())
+                nxt, parked = descend_step(tree, group[fetching], current[fetching])
+                if parked.any():
+                    alive[fetching[parked]] = False
+                current[fetching[~parked]] = nxt[~parked]
             total_cycles += PIPELINE_DEPTH - 1  # fill/drain per group
         return total_cycles, total_stalls
 
@@ -109,6 +151,7 @@ class NeighborSearchEngine:
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         setting = setting.scaled_to(tree.height)
         hw = self.hw
+        split = self._split_for(tree, setting.top_height)
         indices, counts, report = approximate_ball_query(
             tree,
             queries,
@@ -118,11 +161,12 @@ class NeighborSearchEngine:
             banking=self.banking,
             num_pes=hw.num_pes,
             simulate_conflicts=True,
+            split=split,
         )
         m = len(queries)
 
         # ---------------- compute cycles ----------------
-        top_cycles, top_stalls = self._top_phase(tree, queries, setting.top_height)
+        top_cycles, top_stalls = self._top_phase(split, queries)
         # Lockstep cycles count one visit slot per PE-cycle including
         # arbitration; add the pipeline fill per sub-tree batch.
         sub_cycles = report.lockstep_cycles + report.subtrees_loaded * (
@@ -132,7 +176,6 @@ class NeighborSearchEngine:
 
         # ---------------- DRAM (all streaming) ----------------
         dram = DramModel(hw.dram)
-        split = SplitTree(tree, setting.top_height)
         dram.stream(m * QUERY_BYTES)  # queries in (phase 1)
         dram.stream(split.top_tree_bytes())  # top tree in
         if setting.top_height > 0:
@@ -170,5 +213,6 @@ class NeighborSearchEngine:
             energy=energy,
             top_phase_cycles=top_cycles,
             sub_phase_cycles=sub_cycles,
+            top_phase_stalls=top_stalls,
         )
         return indices, counts, result

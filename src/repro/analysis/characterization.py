@@ -16,13 +16,12 @@ import numpy as np
 from ..accel.workloads import evaluation_networks, workload_points
 from ..core.bank_conflict import PointBufferBanking, aggregation_conflict_rate
 from ..core.bank_conflict import TreeBufferBanking
-from ..core.approx_search import run_subtree_lockstep
 from ..kdtree.build import NODE_BYTES, build_kdtree
 from ..kdtree.exact import ball_query, radius_search
 from ..kdtree.stats import TraversalStats
-from ..kdtree.traversal import SubtreeSearch
 from ..memsim.cache import FullyAssociativeCache
 from ..memsim.sram import SramStats
+from ..runtime.lockstep import VectorizedLockstep
 from ..memsim.trace import fraction_noncontiguous, interleave_round_robin
 from .reporting import format_table
 
@@ -129,17 +128,17 @@ def search_conflict_rate_vs_banks(
     tree = build_kdtree(pts)
     rng = np.random.default_rng(seed)
     queries = pts[rng.choice(len(pts), num_queries, replace=False)]
-    slot_map = {int(n): i for i, n in enumerate(tree.subtree_nodes(tree.root))}
+    groups = [(tree.root, np.arange(num_queries, dtype=np.int64))]
+    max_hits = np.full(num_queries, 16, dtype=np.int64)
     rates: Dict[int, float] = {}
     for banks in banks_list:
         sram = SramStats()
-        machines = [
-            SubtreeSearch(tree, q, radius, root=tree.root, max_neighbors=16)
-            for q in queries
-        ]
-        run_subtree_lockstep(
-            machines, slot_map, TreeBufferBanking(banks), num_parallel, sram
+        # Vectorized lockstep, cycle/stat-identical to driving one
+        # SubtreeSearch machine per query through run_subtree_lockstep.
+        engine = VectorizedLockstep(
+            tree, banking=TreeBufferBanking(banks), num_pes=num_parallel
         )
+        engine.run(queries, radius, groups, max_hits, sram=sram)
         rates[int(banks)] = sram.conflict_rate
     return rates
 

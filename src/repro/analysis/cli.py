@@ -11,11 +11,12 @@ Figures are independent experiments, so ``--workers N`` fans them across
 ``N`` worker processes through :class:`repro.runtime.SweepRunner`; output
 order matches the requested figure order regardless of worker count.
 
-Training-backed figures (13, 18–21, 23) live in ``benchmarks/`` because
-they reuse the memoized trained models there; this CLI covers everything
-that runs in seconds: the motivation studies (Figs. 2–5), the design-space
-sweeps (Figs. 8, 9, 22), the evaluation suite (Figs. 14–17), and the
-prior-accelerator comparison (Fig. 24).
+Training-backed figures (13, 18–21, and Fig. 23's accuracy axis) live in
+``benchmarks/`` because they reuse the memoized trained models there; this
+CLI covers everything that runs in seconds: the motivation studies
+(Figs. 2–5), the design-space sweeps (Figs. 8, 9, 22, 23's performance
+axes), the evaluation suite (Figs. 14–17), and the prior-accelerator
+comparison (Fig. 24).
 """
 
 from __future__ import annotations
@@ -183,11 +184,53 @@ def fig22() -> str:
     )
 
 
+def fig23() -> str:
+    """Performance axes of the Fig. 23 Pareto study, geomean over clouds.
+
+    The accuracy axis needs the trained models (``benchmarks/``); the
+    speedup/energy axes are pure simulation, swept here as one
+    ``settings x clouds`` grid through
+    :meth:`~repro.accel.PointCloudAccelerator.run_many`.
+    """
+    from ..accel.accelerator import PointCloudAccelerator
+    from ..accel.baselines import make_mesorasi
+
+    name = "PointNet++ (c)"
+    spec = evaluation_networks()[name]
+    hw = evaluation_hardware()
+    clouds = [workload_points(name, seed=s) for s in (0, 1, 2)]
+    settings = [
+        ApproxSetting(2, None), ApproxSetting(4, None),
+        ApproxSetting(4, 8), ApproxSetting(6, 8),
+    ]
+    baselines = make_mesorasi(hw).run_many(spec, clouds, [ApproxSetting(0, None)])[0]
+    # Default-constructed engine shares the accelerator's session: each
+    # cloud's trees and split-tree layouts are built once for the grid.
+    crescent = PointCloudAccelerator(hw, elide_aggregation=True)
+    grid = crescent.run_many(spec, clouds, settings)
+    rows = []
+    for setting, row in zip(settings, grid):
+        speedup = statistics.geometric_mean(
+            b.cycles / r.cycles for b, r in zip(baselines, row)
+        )
+        energy = statistics.geometric_mean(
+            r.energy.total / b.energy.total for b, r in zip(baselines, row)
+        )
+        rows.append(
+            [f"<{setting.top_height}, {setting.elision_height}>",
+             f"{speedup:.2f}x", f"{energy:.2f}"]
+        )
+    return format_table(
+        f"Fig. 23 (perf axes): {name}, geomean over {len(clouds)} clouds",
+        ["setting", "speedup", "norm energy"], rows,
+    )
+
+
 FIGURES: Dict[str, Callable[[], str]] = {
     "2": fig2, "3": fig3, "4": fig4, "5": fig5,
     "8": fig8, "9": fig9,
     "14": fig14, "15": fig15, "16": fig16, "17": fig17,
-    "22": fig22,
+    "22": fig22, "23": fig23,
 }
 
 
@@ -213,8 +256,8 @@ def main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.list:
         print("available figures:", ", ".join(sorted(FIGURES, key=int)))
-        print("training-backed figures (13, 18-21, 23) run via: "
-              "pytest benchmarks/ --benchmark-only")
+        print("training-backed figures (13, 18-21, 23's accuracy axis) run "
+              "via: pytest benchmarks/ --benchmark-only")
         return 0
     for fig in args.figures:
         if fig not in FIGURES:

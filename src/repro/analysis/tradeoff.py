@@ -11,13 +11,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..accel.accelerator import NetworkSpec, PointCloudAccelerator
+from ..accel.accelerator import NetworkResult, NetworkSpec, PointCloudAccelerator
 from ..accel.baselines import make_mesorasi
 from ..accel.search_engine import NeighborSearchEngine
 from ..core.approx_search import approximate_ball_query
 from ..core.config import ApproxSetting, CrescentHardwareConfig
 from ..kdtree.build import build_kdtree
 from ..memsim.sram import BankedSramConfig
+from ..runtime.sweep import SweepRunner
 
 __all__ = [
     "nodes_visited_vs_top_height",
@@ -135,19 +136,32 @@ def knob_performance_sweep(
     points: np.ndarray,
     settings: Sequence[ApproxSetting],
     hw: CrescentHardwareConfig = CrescentHardwareConfig(),
+    runner: Optional["SweepRunner"] = None,
 ) -> Dict[Tuple[int, Optional[int]], Tuple[float, float]]:
     """Fig. 23 support: speedup and normalized energy per ``<h_t, h_e>``.
 
     Returns ``{(ht, he): (speedup, norm_energy)}`` against the Mesorasi
-    baseline; the accuracy axis comes from the trained models.
+    baseline; the accuracy axis comes from the trained models.  The
+    settings grid goes through :meth:`PointCloudAccelerator.run_many`
+    (one call per elision mode, since BCE flips the aggregation
+    discipline), so trees and split-trees are laid out once per cloud and
+    an optional ``runner`` fans the grid across worker processes.
     """
     baseline = make_mesorasi(hw).run_network(spec, points, ApproxSetting(0, None))
+    settings = list(settings)
+    runs: Dict[Tuple[int, Optional[int]], "NetworkResult"] = {}
+    for elide in (False, True):
+        subset = [s for s in settings if s.uses_elision == elide]
+        if not subset:
+            continue
+        # Default-constructed engine: it shares the accelerator's session,
+        # so trees *and* split-tree layouts pool across the subset.
+        acc = PointCloudAccelerator(hw, elide_aggregation=elide)
+        for setting, row in zip(subset, acc.run_many(spec, [points], subset, runner=runner)):
+            runs[(setting.top_height, setting.elision_height)] = row[0]
     out: Dict[Tuple[int, Optional[int]], Tuple[float, float]] = {}
-    for setting in settings:
-        acc = PointCloudAccelerator(
-            hw, NeighborSearchEngine(hw), elide_aggregation=setting.uses_elision
-        )
-        run = acc.run_network(spec, points, setting)
+    for setting in settings:  # preserve the caller's settings order
+        run = runs[(setting.top_height, setting.elision_height)]
         out[(setting.top_height, setting.elision_height)] = (
             baseline.cycles / run.cycles,
             run.energy.total / baseline.energy.total,

@@ -20,6 +20,15 @@ The two serialized phases follow the hardware exactly:
 When elision is disabled the result is bit-identical to running the exact
 sub-tree-restricted search per query, and the lockstep machinery is only
 engaged if the caller asks for conflict/cycle statistics.
+
+Two interchangeable phase-2 implementations exist: the per-step reference
+(:func:`run_subtree_lockstep` driving :class:`~repro.kdtree.SubtreeSearch`
+machines, one Python call per node visit) and the vectorized engine
+(:class:`~repro.runtime.VectorizedLockstep`, all PEs of all sub-trees as
+NumPy stack arrays).  They are cycle-, stall-, stat-, and hit-identical —
+pinned by the randomized equivalence suite — and ``engine=`` selects one;
+the vectorized engine is the default because the reference loop made the
+simulator, not the workload, the bottleneck of every figure benchmark.
 """
 
 from __future__ import annotations
@@ -36,7 +45,7 @@ from ..kdtree.traversal import SubtreeSearch
 from ..memsim.sram import SramStats
 from .bank_conflict import TreeBufferBanking
 from .config import ApproxSetting
-from .split_tree import SplitTree
+from .split_tree import SplitTree, descend_step
 
 __all__ = ["SearchReport", "approximate_ball_query", "run_subtree_lockstep"]
 
@@ -128,8 +137,11 @@ def run_subtree_lockstep(
                 sram.conflicted += 1
                 winner_node = served_node[int(bank)]
                 if winner_node == int(node):
-                    # Same address: the winner's read is broadcast.
-                    machine.advance(elide=True, substitute=winner_node)
+                    # Same address: the winner's read is broadcast and the
+                    # loser's fetch is *served* — an ordinary visit in the
+                    # traversal stats, never an elision.
+                    sram.broadcasts += 1
+                    machine.advance(elide=False)
                 elif machine.would_elide(int(node)):
                     sram.elided += 1
                     if elide_policy == "descend" and machine.tree.is_descendant(
@@ -154,6 +166,8 @@ def approximate_ball_query(
     num_pes: int = 4,
     simulate_conflicts: Optional[bool] = None,
     record_trace: bool = False,
+    engine: str = "vector",
+    split: Optional[SplitTree] = None,
 ) -> Tuple[np.ndarray, np.ndarray, SearchReport]:
     """Approximate neighbor search over a query batch.
 
@@ -162,45 +176,74 @@ def approximate_ball_query(
     applied.  ``simulate_conflicts`` defaults to "on iff the setting uses
     elision" (without elision, conflicts change timing but not results).
 
+    ``engine`` selects the phase-2 implementation: ``"vector"`` (default)
+    runs the :class:`~repro.runtime.VectorizedLockstep` engine — every
+    sub-tree batch advances as NumPy stack arrays, cycle- and
+    stat-identical to the reference; ``"reference"`` drives one
+    :class:`~repro.kdtree.SubtreeSearch` machine per query through
+    :func:`run_subtree_lockstep`, one Python step per node visit.
+    ``record_trace`` needs the per-visit hook and therefore always uses
+    the reference engine.  ``split`` optionally reuses an existing
+    :class:`~repro.core.split_tree.SplitTree` over ``tree`` (it must match
+    the scaled ``setting.top_height``), the reuse path sessions provide.
+
     With ``setting = ApproxSetting(0, None)`` the output is exactly the
     exact ball query (the baseline), which the tests pin down.
     """
     if max_neighbors <= 0:
         raise ValueError("max_neighbors must be positive")
+    if engine not in ("vector", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if record_trace:
+        engine = "reference"  # the vectorized engine records no visit trace
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     setting = setting.scaled_to(tree.height)
     if simulate_conflicts is None:
         simulate_conflicts = setting.uses_elision
+    # ``split`` may come from a session cache keyed by structural digest,
+    # so it can be a different object over an identical tree — but its
+    # split height must match the (scaled) setting.
+    if split is not None and split.top_height != setting.top_height:
+        raise ValueError(
+            f"split has top_height {split.top_height}, "
+            f"setting wants {setting.top_height}"
+        )
 
-    split = SplitTree(tree, setting.top_height)
     report = SearchReport()
     m = len(queries)
 
     # ------------------------------------------------------------------
     # Phase 1: top-tree descent (vectorized), collecting streamed-past hits.
+    # A query whose branch runs out of children before ``top_height``
+    # levels parks at that leaf: it is distance-tested against the leaf
+    # once (the fetch that discovered the dead end), not once per
+    # remaining level — re-testing inflated ``nodes_visited`` and
+    # ``top_tree_visits`` (and the distance-energy term derived from
+    # them).
     # ------------------------------------------------------------------
     top_hits: List[List[int]] = [[] for _ in range(m)]
     if setting.top_height > 0:
         current = np.full(m, tree.root, dtype=np.int64)
+        alive = np.ones(m, dtype=bool)
         r2 = radius * radius
+        visits = 0
         for _ in range(setting.top_height):
-            pts = tree.points[tree.point_id[current]]
-            d2 = ((queries - pts) ** 2).sum(axis=1)
-            for qi in np.nonzero(d2 <= r2)[0]:
-                top_hits[qi].append(int(tree.point_id[current[qi]]))
-            dims = tree.split_dim[current]
-            rows = np.arange(m)
-            go_left = queries[rows, dims] <= pts[rows, dims]
-            nxt = np.where(go_left, tree.left[current], tree.right[current])
-            missing = nxt < 0
-            if missing.any():
-                alt = np.where(go_left, tree.right[current], tree.left[current])
-                nxt = np.where(missing, alt, nxt)
-                nxt = np.where(nxt < 0, current, nxt)
-            current = nxt.astype(np.int64)
+            act = np.nonzero(alive)[0]
+            if len(act) == 0:
+                break
+            cur = current[act]
+            visits += len(act)
+            pts = tree.points[tree.point_id[cur]]
+            d2 = ((queries[act] - pts) ** 2).sum(axis=1)
+            for k in np.nonzero(d2 <= r2)[0]:
+                top_hits[act[k]].append(int(tree.point_id[cur[k]]))
+            nxt, parked = descend_step(tree, queries[act], cur)
+            if parked.any():
+                alive[act[parked]] = False
+            current[act[~parked]] = nxt[~parked]
         assigned = current
-        report.top_tree_visits = m * setting.top_height
-        report.traversal.nodes_visited += report.top_tree_visits
+        report.top_tree_visits = visits
+        report.traversal.nodes_visited += visits
     else:
         assigned = np.full(m, tree.root, dtype=np.int64)
     report.traversal.queries += m
@@ -216,40 +259,85 @@ def approximate_ball_query(
     # Phase 2: per-sub-tree search.
     # ------------------------------------------------------------------
     hits_per_query: List[List[int]] = [list(h) for h in top_hits]
-    node_to_slot_cache: Dict[int, Dict[int, int]] = {}
-    for root_pos, root in enumerate(uniq_roots):
-        q_ids = np.nonzero(inverse == root_pos)[0]
-        machines: List[SubtreeSearch] = []
-        for qi in q_ids:
-            remaining = max_neighbors - len(hits_per_query[qi])
-            machines.append(
-                SubtreeSearch(
-                    tree,
-                    queries[qi],
-                    radius,
-                    root=int(root),
-                    max_neighbors=remaining if remaining > 0 else 0,
-                    elide_depth=setting.elision_height,
-                    stats=report.traversal,
-                    record_trace=record_trace,
-                )
-            )
+    group_q_ids = [
+        np.nonzero(inverse == root_pos)[0] for root_pos in range(len(uniq_roots))
+    ]
+    if engine == "vector":
+        from ..runtime.lockstep import VectorizedLockstep
+
+        vls = VectorizedLockstep(tree, banking=banking, num_pes=num_pes)
+        mach_queries = (
+            np.concatenate(group_q_ids) if group_q_ids else np.zeros(0, np.int64)
+        )
+        remaining = np.array(
+            [max(max_neighbors - len(hits_per_query[qi]), 0) for qi in mach_queries],
+            dtype=np.int64,
+        )
         if simulate_conflicts:
-            slot_map = node_to_slot_cache.get(int(root))
-            if slot_map is None:
-                nodes = split.subtree_nodes(int(root))
-                slot_map = {int(n): i for i, n in enumerate(nodes)}
-                node_to_slot_cache[int(root)] = slot_map
-            cycles, stalls = run_subtree_lockstep(
-                machines, slot_map, banking, num_pes, report.tree_sram
+            groups = [
+                (int(root), q_ids) for root, q_ids in zip(uniq_roots, group_q_ids)
+            ]
+            outcome = vls.run(
+                queries,
+                radius,
+                groups,
+                remaining,
+                elide_depth=setting.elision_height,
+                traversal=report.traversal,
+                sram=report.tree_sram,
             )
-            report.lockstep_cycles += cycles
-            report.stall_cycles += stalls
+            report.lockstep_cycles += outcome.cycles
+            report.stall_cycles += outcome.stalls
+            machine_hits = outcome.hits
         else:
-            for machine in machines:
-                machine.run_to_completion()
-        for qi, machine in zip(q_ids, machines):
-            hits_per_query[qi].extend(machine.hits)
+            roots_per_machine = np.repeat(
+                uniq_roots, [len(q) for q in group_q_ids]
+            ).astype(np.int64)
+            machine_hits = vls.run_free(
+                queries[mach_queries],
+                radius,
+                roots_per_machine,
+                remaining,
+                traversal=report.traversal,
+            )
+        for qi, found in zip(mach_queries, machine_hits):
+            hits_per_query[qi].extend(found)
+    else:
+        if split is None:
+            split = SplitTree(tree, setting.top_height)
+        node_to_slot_cache: Dict[int, Dict[int, int]] = {}
+        for root, q_ids in zip(uniq_roots, group_q_ids):
+            machines: List[SubtreeSearch] = []
+            for qi in q_ids:
+                remaining = max_neighbors - len(hits_per_query[qi])
+                machines.append(
+                    SubtreeSearch(
+                        tree,
+                        queries[qi],
+                        radius,
+                        root=int(root),
+                        max_neighbors=remaining if remaining > 0 else 0,
+                        elide_depth=setting.elision_height,
+                        stats=report.traversal,
+                        record_trace=record_trace,
+                    )
+                )
+            if simulate_conflicts:
+                slot_map = node_to_slot_cache.get(int(root))
+                if slot_map is None:
+                    nodes = split.subtree_nodes(int(root))
+                    slot_map = {int(n): i for i, n in enumerate(nodes)}
+                    node_to_slot_cache[int(root)] = slot_map
+                cycles, stalls = run_subtree_lockstep(
+                    machines, slot_map, banking, num_pes, report.tree_sram
+                )
+                report.lockstep_cycles += cycles
+                report.stall_cycles += stalls
+            else:
+                for machine in machines:
+                    machine.run_to_completion()
+            for qi, machine in zip(q_ids, machines):
+                hits_per_query[qi].extend(machine.hits)
 
     # ------------------------------------------------------------------
     # Assemble the padded index matrix (the ball_query contract).

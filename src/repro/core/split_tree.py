@@ -17,13 +17,38 @@ stream from DRAM.  :meth:`dram_address_of` maps a node to that layout.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..kdtree.build import NODE_BYTES, KdTree
 
-__all__ = ["SplitTree"]
+__all__ = ["SplitTree", "descend_step"]
+
+
+def descend_step(
+    tree: KdTree, queries: np.ndarray, current: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One level of vectorized BST descent for ``queries`` at ``current``.
+
+    Returns ``(nxt, parked)``: the near child per query (falling back to
+    the sibling on a short branch) and a mask of queries whose node has no
+    children at all — *parked* queries, which every descent consumer must
+    stop advancing (and fetching/testing) rather than re-visit the same
+    leaf each remaining level.  Shared by the functional phase-1 descent,
+    :meth:`SplitTree.route_queries`, and the engine's top-phase cycle
+    model so their routing and node accounting cannot drift apart.
+    """
+    rows = np.arange(len(current))
+    pts = tree.points[tree.point_id[current]]
+    dims = tree.split_dim[current]
+    go_left = queries[rows, dims] <= pts[rows, dims]
+    nxt = np.where(go_left, tree.left[current], tree.right[current])
+    missing = nxt < 0
+    if missing.any():
+        alt = np.where(go_left, tree.right[current], tree.left[current])
+        nxt = np.where(missing, alt, nxt)
+    return nxt.astype(np.int64), nxt < 0
 
 
 class SplitTree:
@@ -139,20 +164,11 @@ class SplitTree:
         current = np.full(n, self.tree.root, dtype=np.int64)
         if self.top_height == 0:
             return current
-        tree = self.tree
         for _ in range(self.top_height):
-            pts = tree.points[tree.point_id[current]]
-            dims = tree.split_dim[current]
-            qvals = queries[np.arange(n), dims]
-            go_left = qvals <= pts[np.arange(n), dims]
-            nxt = np.where(go_left, tree.left[current], tree.right[current])
-            # Short branches: fall back to the sibling, then stay put.
-            missing = nxt < 0
-            if missing.any():
-                alt = np.where(go_left, tree.right[current], tree.left[current])
-                nxt = np.where(missing, alt, nxt)
-                nxt = np.where(nxt < 0, current, nxt)
-            current = nxt.astype(np.int64)
+            nxt, parked = descend_step(self.tree, queries, current)
+            # Parked queries (childless node before the sub-tree level)
+            # stay where they are.
+            current = np.where(parked, current, nxt)
         return current
 
     def queue_occupancy(self, queries: np.ndarray) -> Dict[int, int]:

@@ -167,23 +167,24 @@ class SubtreeSearch:
         """Consume the top-of-stack node.
 
         ``elide=False`` performs the normal visit (distance test + child
-        pushes).  ``elide=True`` drops the node — modelling a bank conflict
-        whose retry was suppressed — which skips its entire subtree.
-        ``elide=True`` with ``substitute`` set continues the traversal from
-        ``substitute`` instead (the paper's Sec. 4.2 future-work
-        optimization): valid only when ``substitute`` is a descendant of
-        the requested node, so termination is preserved; only the nodes
-        between the two are lost.
+        pushes).  A bank-conflict loser whose requested address matches the
+        winner's is *served* by the broadcast read and must be advanced
+        with ``elide=False`` — broadcasts are ordinary served visits, never
+        elisions (they used to be funneled through ``elide=True`` with
+        ``substitute == node``, which mislabeled a served fetch with
+        elision semantics).  ``elide=True`` drops the node — modelling a
+        conflict whose retry was suppressed — which skips its entire
+        subtree.  ``elide=True`` with ``substitute`` set continues the
+        traversal from ``substitute`` instead (the paper's Sec. 4.2
+        future-work optimization): valid only when ``substitute`` is a
+        *proper* descendant of the requested node, so termination is
+        preserved; only the nodes between the two are lost.
         """
         if self.done:
             raise RuntimeError("search already finished")
         node = self._stack.pop()
         self.stats.stack_pops += 1
         tree = self.tree
-        if elide and substitute == node:
-            # The winner fetched the very node this PE wanted: its data is
-            # broadcast and the visit proceeds normally (no loss).
-            elide = False
         if elide:
             if not self.would_elide(node):
                 raise RuntimeError(
@@ -191,6 +192,12 @@ class SubtreeSearch:
                     f"elision height {self.elide_depth}; the PE must stall"
                 )
             if substitute is not None:
+                if substitute == node:
+                    raise RuntimeError(
+                        f"substitute equals the requested node {node}: a "
+                        "same-address conflict is a broadcast, not an "
+                        "elision — advance with elide=False"
+                    )
                 if not tree.is_descendant(substitute, node):
                     raise RuntimeError(
                         f"substitute {substitute} is not beneath {node}"

@@ -50,11 +50,20 @@ class BankedSramConfig:
 
 @dataclass
 class SramStats:
-    """Accumulated activity of one banked buffer."""
+    """Accumulated activity of one banked buffer.
+
+    ``conflicted`` counts every access that lost bank arbitration; the
+    disjoint ``broadcasts`` and ``elided`` counters record how losers were
+    resolved (served by the winner's same-address read vs dropped).  A
+    conflicted access that is neither broadcast nor elided stalled and
+    retried.  ``reads_served`` stays "actual bank reads" — energy-bearing
+    fetches only, so broadcast-served ports do not inflate it.
+    """
 
     accesses: int = 0
     conflicted: int = 0
     elided: int = 0
+    broadcasts: int = 0  # losers served by the winner's same-address read
     reads_served: int = 0  # actual bank reads (energy-bearing)
     cycles: int = 0
 
@@ -66,6 +75,7 @@ class SramStats:
         self.accesses += other.accesses
         self.conflicted += other.conflicted
         self.elided += other.elided
+        self.broadcasts += other.broadcasts
         self.reads_served += other.reads_served
         self.cycles += other.cycles
         return self

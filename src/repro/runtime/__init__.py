@@ -1,31 +1,48 @@
 """Batched query runtime: the performance layer under the network-facing API.
 
-Three pieces, composable but independently usable:
+Four pieces, composable but independently usable:
 
 - :class:`BatchedBallQuery` — all M queries of a layer advance together as
   NumPy frontier arrays; bit-identical to the per-query reference searcher
   (:func:`repro.kdtree.exact.ball_query`), which the parity suite enforces.
-- :class:`SearchSession` — owns K-d tree construction and result
-  memoization behind geometry-digested LRU caches (no stale hits when a
-  caller reuses a cache key with mutated points).
+- :class:`VectorizedLockstep` — the accelerator model's lockstep sub-tree
+  search as NumPy stack arrays: arbitration, broadcast, elision, and stall
+  decisions per cycle as array ops, cycle- and stat-identical to the
+  per-step reference (:func:`repro.core.approx_search.run_subtree_lockstep`),
+  which the lockstep equivalence suite enforces.
+- :class:`SearchSession` — owns K-d tree / split-tree construction and
+  result memoization behind geometry-digested LRU caches (no stale hits
+  when a caller reuses a cache key with mutated points; sentinel-based
+  misses so cached falsy values are never recomputed).
 - :class:`SweepRunner` — fans parameter sweeps across ``multiprocessing``
   workers with deterministic, order-preserving results.
 
 The step-machines in :mod:`repro.kdtree.traversal` remain the behavioral
-reference for hardware statistics; this package only accelerates the paths
-whose *results* are what matters (training, accuracy sweeps, figures).
+reference for hardware statistics; this package accelerates both the
+result-only paths (training, accuracy sweeps) and the cycle-accounted
+simulation the figure benchmarks run.
 """
 
 from .batched import BatchedBallQuery, batched_ball_query
-from .session import CacheStats, LruCache, SearchSession, geometry_digest
+from .lockstep import LockstepResult, VectorizedLockstep
+from .session import (
+    CacheStats,
+    LruCache,
+    SearchSession,
+    geometry_digest,
+    tree_digest,
+)
 from .sweep import SweepRunner
 
 __all__ = [
     "BatchedBallQuery",
     "batched_ball_query",
+    "LockstepResult",
+    "VectorizedLockstep",
     "CacheStats",
     "LruCache",
     "SearchSession",
     "geometry_digest",
+    "tree_digest",
     "SweepRunner",
 ]

@@ -1,0 +1,475 @@
+"""Vectorized lockstep sub-tree search engine.
+
+:func:`repro.core.approx_search.run_subtree_lockstep` is the behavioral
+reference for the banked-tree-buffer PE array: it drives one
+:class:`~repro.kdtree.SubtreeSearch` machine per queued query, one Python
+``advance`` per node visit.  That granularity is what makes it trustworthy
+— and what makes it the hottest loop of every figure benchmark, because a
+network layer's search burns one Python iteration per PE per cycle.
+
+:class:`VectorizedLockstep` computes the *same* simulation with NumPy
+array operations:
+
+* every PE slot of every sub-tree batch is one row of a ``(lanes, depth)``
+  stack matrix (``lanes = num_subtrees x num_pes``), so all sub-trees of a
+  query batch advance concurrently — the wall-clock loop runs
+  ``max``(cycles per sub-tree) iterations instead of their sum;
+* each iteration performs arbitration (rotating round-robin priority, one
+  winner per ``(sub-tree, bank)``), broadcast detection (same-address
+  losers observe the winner's read), elision (conflicted fetches at or
+  below ``h_e`` drop their subtree) and stall bookkeeping as whole-array
+  masks;
+* traversal statistics, SRAM counters, per-sub-tree cycles and stalls,
+  and every machine's hit list are produced exactly as the reference
+  produces them — the randomized equivalence suite in
+  ``tests/test_runtime_lockstep.py`` pins cycle-, stall-, stat- and
+  hit-identity on random clouds and settings.
+
+Equivalence notes
+-----------------
+The reference's observable quirks are reproduced deliberately:
+
+* the pending queue feeds free PE slots one candidate per slot per
+  iteration, and a candidate that is already done (its result buffer was
+  filled by top-tree hits) leaves the slot empty for that cycle;
+* round-robin priority rotates by ``cycles mod len(active)`` *per
+  sub-tree*, with ``active`` re-evaluated every cycle;
+* a machine whose hit buffer fills mid-visit pushes no children for that
+  visit (the reference's early return);
+* bank slots are the node's *preorder position inside its sub-tree* —
+  computed here from the tree's Euler ``tin`` index, which equals the
+  reference's ``SplitTree.subtree_nodes`` enumeration because a subtree
+  occupies a contiguous preorder interval.
+
+The free-running mode (:meth:`run_free`) is the same stack machinery with
+the conflict model off — every machine advances every iteration — used by
+the no-conflict-simulation path of ``approximate_ball_query`` where only
+results and traversal statistics matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kdtree.build import KdTree
+from ..kdtree.stats import TraversalStats
+from ..memsim.sram import SramStats
+
+__all__ = ["LockstepResult", "VectorizedLockstep"]
+
+
+@dataclass
+class LockstepResult:
+    """Outcome of one vectorized lockstep run over several sub-tree batches."""
+
+    cycles: int
+    stalls: int
+    hits: List[List[int]]  # per machine, in visit order
+    group_cycles: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+
+class VectorizedLockstep:
+    """Array-lockstep simulator of the banked-tree-buffer PE array.
+
+    Parameters
+    ----------
+    tree:
+        The K-d tree all sub-tree batches search.
+    banking:
+        Object with ``bank_of_slot(slots) -> banks`` (duck-typed to
+        :class:`~repro.core.bank_conflict.TreeBufferBanking`).  Only needed
+        for :meth:`run`; :meth:`run_free` has no conflict model.
+    num_pes:
+        Lockstepped PE slots per sub-tree batch.
+    elide_policy:
+        ``"skip"`` (the shipped design: an elided fetch drops the node and
+        its subtree) or ``"descend"`` (Sec. 4.2: continue from the winner's
+        node when it lies beneath the requested one).
+    """
+
+    def __init__(
+        self,
+        tree: KdTree,
+        banking=None,
+        num_pes: int = 4,
+        elide_policy: str = "skip",
+    ):
+        if elide_policy not in ("skip", "descend"):
+            raise ValueError(f"unknown elide_policy {elide_policy!r}")
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        self.tree = tree
+        self.banking = banking
+        self.num_pes = num_pes
+        self.elide_policy = elide_policy
+        tree._ensure_euler()
+        self._pts = tree.points[tree.point_id]  # node id -> coordinates
+        self._split_val = self._pts[np.arange(tree.num_nodes), tree.split_dim]
+        self._left = np.asarray(tree.left, dtype=np.int64)
+        self._right = np.asarray(tree.right, dtype=np.int64)
+        self._depth = np.asarray(tree.depth, dtype=np.int64)
+        self._size = np.asarray(tree.subtree_size, dtype=np.int64)
+        self._split_dim = np.asarray(tree.split_dim, dtype=np.int64)
+        self._tin = np.asarray(tree.tin, dtype=np.int64)
+        self._tout = np.asarray(tree.tout, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        queries: np.ndarray,
+        radius: float,
+        groups: Sequence[Tuple[int, np.ndarray]],
+        max_hits: np.ndarray,
+        elide_depth: Optional[int] = None,
+        traversal: Optional[TraversalStats] = None,
+        sram: Optional[SramStats] = None,
+    ) -> LockstepResult:
+        """Simulate every sub-tree batch of ``groups`` to completion.
+
+        ``groups`` is a sequence of ``(root, query_ids)`` — one entry per
+        sub-tree, machines queued in ``query_ids`` order.  ``max_hits`` is
+        one capacity per machine (concatenated group order; ``-1`` means
+        unbounded).  Returns total cycles/stalls (summed over sub-trees,
+        as the reference accumulates them) and each machine's hits.
+        """
+        if self.banking is None:
+            raise ValueError("run() needs a banking model; pass banking=")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ngroups = len(groups)
+        num_pes = self.num_pes
+        group_sizes = np.array([len(q) for _, q in groups], dtype=np.int64)
+        group_start = np.concatenate(([0], np.cumsum(group_sizes)))
+        num_machines = int(group_start[-1])
+        mach_query = (
+            np.concatenate([np.asarray(q, dtype=np.int64) for _, q in groups])
+            if num_machines
+            else np.zeros(0, np.int64)
+        )
+        roots = np.array([int(r) for r, _ in groups], dtype=np.int64)
+        max_hits = np.asarray(max_hits, dtype=np.int64)
+        if max_hits.shape != (num_machines,):
+            raise ValueError("max_hits must hold one capacity per machine")
+        if traversal is not None:
+            traversal.stack_pushes += num_machines  # root push at creation
+        hits: List[List[int]] = [[] for _ in range(num_machines)]
+        result = LockstepResult(
+            0, 0, hits, group_cycles=np.zeros(ngroups, np.int64)
+        )
+        if ngroups == 0:
+            return result
+
+        r2 = radius * radius
+        has_elide = elide_depth is not None
+        descend = self.elide_policy == "descend"
+        depth_cap = self.tree.height + 2
+        lanes = ngroups * num_pes
+        stack = np.zeros((lanes, depth_cap), dtype=np.int64)
+        sp = np.zeros(lanes, dtype=np.int64)
+        lane_mach = np.full(lanes, -1, dtype=np.int64)
+        lane_group = np.repeat(np.arange(ngroups, dtype=np.int64), num_pes)
+        pend = group_start[:-1].copy()
+        pend_end = group_start[1:].copy()
+        hits_cnt = np.zeros(num_machines, dtype=np.int64)
+        g_cycles = np.zeros(ngroups, dtype=np.int64)
+        tin_root = self._tin[roots]
+        pending_left = num_machines  # machines not yet popped from a queue
+
+        # Stat accumulators (folded into the dataclasses once, at the end).
+        n_access = n_reads = n_elided = n_bcast = n_stalls = 0
+        t_pops = t_pushes = t_visited = t_skipped = t_pruned = t_found = 0
+
+        def refill() -> int:
+            """One pop attempt per free lane, in PE slot order (the
+            reference's per-iteration refill pass).  A popped machine that
+            is already done — its result buffer was filled by top-tree
+            hits — is discarded and leaves the slot empty for this cycle.
+            Returns how many lanes were left empty that way (they need
+            another refill pass next cycle even if nothing else frees)."""
+            nonlocal pending_left
+            refillable = np.nonzero(
+                (lane_mach < 0) & (pend[lane_group] < pend_end[lane_group])
+            )[0]
+            discarded = 0
+            for lane in refillable:
+                grp = int(lane_group[lane])
+                if pend[grp] >= pend_end[grp]:
+                    continue
+                mach = int(pend[grp])
+                pend[grp] += 1
+                pending_left -= 1
+                if max_hits[mach] == 0:
+                    if pend[grp] < pend_end[grp]:
+                        discarded += 1
+                    continue
+                lane_mach[lane] = mach
+                stack[lane, 0] = roots[grp]
+                sp[lane] = 1
+            return discarded
+
+        lane_arange = np.arange(lanes, dtype=np.int64)
+        retry_refill = refill()
+        while True:
+            active = np.nonzero(lane_mach >= 0)[0]
+            num_active = len(active)
+            if num_active == 0:
+                if pending_left == 0:
+                    break
+                retry_refill = refill()
+                continue  # groups with pending machines refill next pass
+
+            # ---- one lockstep cycle for every group with active lanes.
+            agroup = lane_group[active]
+            n_active = np.bincount(agroup, minlength=ngroups)
+            g_cycles[n_active > 0] += 1
+            in_group = n_active[agroup]
+            apos = lane_arange[:num_active] - (np.cumsum(n_active)[agroup] - in_group)
+            rank = (apos - g_cycles[agroup] % in_group) % in_group
+            nodes = stack[active, sp[active] - 1]
+            slots = self._tin[nodes] - tin_root[agroup]
+            banks = np.asarray(self.banking.bank_of_slot(slots), dtype=np.int64)
+
+            # Winner per (group, bank) = lowest rotated-priority rank.
+            # Ranks are unique within a group, so the composite key is
+            # unique and a plain (unstable) argsort suffices.
+            num_banks = getattr(self.banking, "num_banks", 0) or int(banks.max()) + 1
+            key = (agroup * num_banks + banks) * num_pes + rank
+            order = np.argsort(key)
+            seg = key[order] // num_pes  # (group, bank) segment id
+            new_seg = np.empty(num_active, dtype=bool)
+            new_seg[0] = True
+            new_seg[1:] = seg[1:] != seg[:-1]
+            winner_per_seg = order[new_seg]
+            winner_idx = np.empty(num_active, dtype=np.int64)
+            winner_idx[order] = winner_per_seg[np.cumsum(new_seg) - 1]
+            is_winner = winner_idx == lane_arange[:num_active]
+            winner_node = nodes[winner_idx]
+            bcast = ~is_winner & (winner_node == nodes)
+            if has_elide:
+                elidable = ~is_winner & ~bcast & (self._depth[nodes] >= elide_depth)
+                num_elided = int(elidable.sum())
+            else:
+                elidable = None
+                num_elided = 0
+
+            num_winners = int(is_winner.sum())
+            num_bcast = int(bcast.sum())
+            n_access += num_active
+            n_reads += num_winners
+            n_elided += num_elided
+            n_bcast += num_bcast
+            # Losers that neither broadcast nor elide stall for the cycle.
+            n_stalls += num_active - num_winners - num_bcast - num_elided
+
+            # ---- served fetches (won or broadcast): the normal visit.
+            visit = is_winner | bcast
+            vlanes = active[visit]
+            vnodes = nodes[visit]
+            t_pops += len(vlanes)
+            t_visited += len(vlanes)
+            sp[vlanes] -= 1
+            vmach = lane_mach[vlanes]
+            delta = queries[mach_query[vmach]] - self._pts[vnodes]
+            in_ball = np.einsum("ij,ij->i", delta, delta) <= r2
+            if in_ball.any():
+                hit_mach = vmach[in_ball]
+                hits_cnt[hit_mach] += 1
+                t_found += len(hit_mach)
+                hit_pid = self.tree.point_id[vnodes[in_ball]]
+                for mach, pid in zip(hit_mach.tolist(), hit_pid.tolist()):
+                    hits[mach].append(int(pid))
+                full_now = in_ball & (max_hits[vmach] >= 0) & (
+                    hits_cnt[vmach] >= max_hits[vmach]
+                )
+                some_full = bool(full_now.any())
+            else:
+                full_now = None
+                some_full = False
+            if some_full:
+                push = ~full_now  # a filling visit pushes no children
+                plane = vlanes[push]
+                pnode = vnodes[push]
+                pdelta = delta[push]
+            else:
+                plane = vlanes
+                pnode = vnodes
+                pdelta = delta
+            if len(plane):
+                dims = self._split_dim[pnode]
+                # The split value is the node point's coordinate, so the
+                # plane distance is a row of the already-computed delta.
+                diff = pdelta[np.arange(len(plane)), dims]
+                go_left = diff <= 0
+                near = np.where(go_left, self._left[pnode], self._right[pnode])
+                far = np.where(go_left, self._right[pnode], self._left[pnode])
+                far_exists = far >= 0
+                within = np.abs(diff) <= radius
+                push_far = far_exists & within
+                pruned = far_exists & ~within
+                if pruned.any():
+                    t_pruned += int(self._size[far[pruned]].sum())
+                flane = plane[push_far]
+                stack[flane, sp[flane]] = far[push_far]
+                sp[flane] += 1
+                push_near = near >= 0
+                nlane = plane[push_near]
+                stack[nlane, sp[nlane]] = near[push_near]
+                sp[nlane] += 1
+                t_pushes += int(push_far.sum()) + int(push_near.sum())
+
+            # ---- conflicted losers at/below the elision height.
+            slanes = ()
+            if num_elided:
+                if descend:
+                    # Sec. 4.2: continue from the winner's node when it is
+                    # beneath the requested one; drop the subtree otherwise.
+                    sub_ok = elidable & (
+                        (self._tin[nodes] <= self._tin[winner_node])
+                        & (self._tin[winner_node] < self._tout[nodes])
+                    )
+                    skip = elidable & ~sub_ok
+                    dlanes = active[sub_ok]
+                    if len(dlanes):
+                        t_pops += len(dlanes)
+                        t_pushes += len(dlanes)
+                        t_skipped += int(
+                            (
+                                self._size[nodes[sub_ok]]
+                                - self._size[winner_node[sub_ok]]
+                            ).sum()
+                        )
+                        # pop + push == replace the top of stack in place
+                        stack[dlanes, sp[dlanes] - 1] = winner_node[sub_ok]
+                else:
+                    skip = elidable
+                slanes = active[skip]
+                if len(slanes):
+                    t_pops += len(slanes)
+                    sp[slanes] -= 1
+                    t_skipped += int(self._size[nodes[skip]].sum())
+
+            # ---- free lanes whose machine finished this cycle; refill.
+            # Only served (stack may be empty / buffer full) and elided
+            # (stack may be empty) lanes can finish.
+            if some_full:
+                vdone = vlanes[(sp[vlanes] == 0) | full_now]
+            else:
+                vdone = vlanes[sp[vlanes] == 0]
+            lane_mach[vdone] = -1
+            freed = len(vdone)
+            if len(slanes):
+                sdone = slanes[sp[slanes] == 0]
+                lane_mach[sdone] = -1
+                freed += len(sdone)
+            if pending_left and (freed or retry_refill):
+                retry_refill = refill()
+
+        if traversal is not None:
+            traversal.stack_pops += t_pops
+            traversal.stack_pushes += t_pushes
+            traversal.nodes_visited += t_visited
+            traversal.nodes_skipped += t_skipped
+            traversal.nodes_pruned += t_pruned
+            traversal.neighbors_found += t_found
+        if sram is not None:
+            sram.accesses += n_access
+            sram.reads_served += n_reads
+            sram.conflicted += n_access - n_reads
+            sram.elided += n_elided
+            sram.broadcasts += n_bcast
+            sram.cycles += int(g_cycles.sum())
+        result.cycles = int(g_cycles.sum())
+        result.stalls = n_stalls
+        result.group_cycles = g_cycles
+        return result
+
+    # ------------------------------------------------------------------
+    def run_free(
+        self,
+        queries: np.ndarray,
+        radius: float,
+        roots: np.ndarray,
+        max_hits: np.ndarray,
+        traversal: Optional[TraversalStats] = None,
+    ) -> List[List[int]]:
+        """Run one machine per ``(queries[i], roots[i])`` with no conflicts.
+
+        Equivalent to ``SubtreeSearch.run_to_completion`` per machine —
+        identical hits and traversal statistics — but all machines advance
+        together, one tree-node visit per machine per iteration.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        roots = np.asarray(roots, dtype=np.int64)
+        max_hits = np.asarray(max_hits, dtype=np.int64)
+        num_machines = len(roots)
+        if max_hits.shape != (num_machines,):
+            raise ValueError("max_hits must hold one capacity per machine")
+        if traversal is not None:
+            traversal.stack_pushes += num_machines
+        hits: List[List[int]] = [[] for _ in range(num_machines)]
+        if num_machines == 0:
+            return hits
+
+        r2 = radius * radius
+        depth_cap = self.tree.height + 2
+        stack = np.zeros((num_machines, depth_cap), dtype=np.int64)
+        sp = np.zeros(num_machines, dtype=np.int64)
+        alive = max_hits != 0  # capacity-0 machines are done at creation
+        stack[alive, 0] = roots[alive]
+        sp[alive] = 1
+        hits_cnt = np.zeros(num_machines, dtype=np.int64)
+        t_pops = t_pushes = t_visited = t_pruned = t_found = 0
+
+        while True:
+            act = np.nonzero(sp > 0)[0]
+            if len(act) == 0:
+                break
+            nodes = stack[act, sp[act] - 1]
+            t_pops += len(act)
+            t_visited += len(act)
+            sp[act] -= 1
+            delta = queries[act] - self._pts[nodes]
+            in_ball = np.einsum("ij,ij->i", delta, delta) <= r2
+            if in_ball.any():
+                hit_mach = act[in_ball]
+                hits_cnt[hit_mach] += 1
+                t_found += len(hit_mach)
+                hit_pid = self.tree.point_id[nodes[in_ball]]
+                for mach, pid in zip(hit_mach.tolist(), hit_pid.tolist()):
+                    hits[mach].append(int(pid))
+            full_now = in_ball & (max_hits[act] >= 0) & (
+                hits_cnt[act] >= max_hits[act]
+            )
+            sp[act[full_now]] = 0  # buffer full: traversal over, no pushes
+            push = ~full_now
+            plane = act[push]
+            pnode = nodes[push]
+            if len(plane):
+                diff = queries[plane, self._split_dim[pnode]] - self._split_val[pnode]
+                go_left = diff <= 0
+                near = np.where(go_left, self._left[pnode], self._right[pnode])
+                far = np.where(go_left, self._right[pnode], self._left[pnode])
+                far_exists = far >= 0
+                within = np.abs(diff) <= radius
+                push_far = far_exists & within
+                pruned = far_exists & ~within
+                if pruned.any():
+                    t_pruned += int(self._size[far[pruned]].sum())
+                flane = plane[push_far]
+                stack[flane, sp[flane]] = far[push_far]
+                sp[flane] += 1
+                push_near = near >= 0
+                nlane = plane[push_near]
+                stack[nlane, sp[nlane]] = near[push_near]
+                sp[nlane] += 1
+                t_pushes += int(push_far.sum()) + int(push_near.sum())
+
+        if traversal is not None:
+            traversal.stack_pops += t_pops
+            traversal.stack_pushes += t_pushes
+            traversal.nodes_visited += t_visited
+            traversal.nodes_pruned += t_pruned
+            traversal.neighbors_found += t_found
+        return hits

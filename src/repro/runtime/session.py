@@ -24,14 +24,29 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Hashable, Optional, Tuple
 
 import numpy as np
 
 from ..kdtree.build import KdTree, build_kdtree
 from .batched import BatchedBallQuery
 
-__all__ = ["CacheStats", "LruCache", "SearchSession", "geometry_digest"]
+if TYPE_CHECKING:  # pragma: no cover - runtime import would be circular
+    from ..core.split_tree import SplitTree
+
+__all__ = [
+    "CacheStats",
+    "LruCache",
+    "SearchSession",
+    "geometry_digest",
+    "tree_digest",
+]
+
+# Distinguishes "no entry" from a cached falsy value (None, 0, empty
+# array wrapper, ...).  LruCache.get must never treat a legitimately
+# cached None as a miss — callers compare against this marker (or their
+# own default) instead of None.
+_MISS = object()
 
 
 def geometry_digest(*arrays: np.ndarray) -> str:
@@ -43,6 +58,22 @@ def geometry_digest(*arrays: np.ndarray) -> str:
         h.update(str(a.shape).encode())
         h.update(a.tobytes())
     return h.hexdigest()
+
+
+def tree_digest(tree: KdTree) -> str:
+    """Structural digest of a built K-d tree.
+
+    Folds in the node wiring (``point_id``, ``left``, ``right``,
+    ``split_dim``) on top of the coordinates, so two trees over identical
+    points built with different split rules never share cache entries.
+    """
+    return geometry_digest(
+        tree.points,
+        np.asarray(tree.point_id),
+        np.asarray(tree.left),
+        np.asarray(tree.right),
+        np.asarray(tree.split_dim),
+    )
 
 
 @dataclass
@@ -73,13 +104,21 @@ class LruCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
 
-    def get(self, key: Hashable):
-        """Return the cached value or ``None``, refreshing recency."""
+    def get(self, key: Hashable, default=None):
+        """Return the cached value or ``default``, refreshing recency.
+
+        ``None`` is a legal cached *value*: a miss returns ``default``
+        (itself ``None`` unless overridden), never a sentinel confusable
+        with stored data.  Callers that may cache falsy values pass their
+        own unambiguous marker — as :meth:`memoize` does — so a cached
+        ``None`` counts as the hit it is instead of being silently
+        recomputed (and double-counted as a miss) forever.
+        """
         try:
             value = self._data[key]
         except KeyError:
             self.stats.misses += 1
-            return None
+            return default
         self._data.move_to_end(key)
         self.stats.hits += 1
         return value
@@ -114,17 +153,37 @@ class SearchSession:
     def __init__(self, max_results: int = 512, max_trees: int = 64):
         self.results = LruCache(max_results)
         self.trees = LruCache(max_trees)
+        self.split_trees = LruCache(max_trees)
 
     # ------------------------------------------------------------------
     def tree_for(self, points: np.ndarray) -> KdTree:
         """Build (or fetch) the K-d tree over ``points``."""
         points = np.asarray(points, dtype=np.float64)
         key = geometry_digest(points)
-        tree = self.trees.get(key)
-        if tree is None:
+        tree = self.trees.get(key, _MISS)
+        if tree is _MISS:
             tree = build_kdtree(points)
             self.trees.put(key, tree)
         return tree
+
+    def split_tree_for(self, tree: KdTree, top_height: int) -> "SplitTree":
+        """Build (or fetch) the :class:`SplitTree` over ``tree``.
+
+        Keyed by the tree's structural digest plus ``top_height``, so a
+        network sweep that revisits the same cloud under many settings
+        lays the split-tree memory image out once per ``h_t`` instead of
+        once per layer call.
+        """
+        # Imported here: repro.core.pipeline imports this module at load
+        # time, so a module-level import of repro.core would be circular.
+        from ..core.split_tree import SplitTree
+
+        key = (tree_digest(tree), int(top_height))
+        split = self.split_trees.get(key, _MISS)
+        if split is _MISS:
+            split = SplitTree(tree, int(top_height))
+            self.split_trees.put(key, split)
+        return split
 
     def ball_query(
         self,
@@ -164,11 +223,14 @@ class SearchSession:
 
         The digest makes the memoization safe against callers that reuse
         ``key`` with mutated arrays: the stale entry is simply never hit
-        again (and eventually ages out of the LRU).
+        again (and eventually ages out of the LRU).  Misses are detected
+        with a sentinel, so a computation that legitimately returns
+        ``None`` (or any falsy value) is cached like any other result
+        instead of being recomputed on every call.
         """
         full_key = (key, geometry_digest(*geometry))
-        cached = self.results.get(full_key)
-        if cached is None:
+        cached = self.results.get(full_key, _MISS)
+        if cached is _MISS:
             cached = compute()
             self.results.put(full_key, cached)
         return cached
@@ -176,3 +238,4 @@ class SearchSession:
     def clear(self) -> None:
         self.results.clear()
         self.trees.clear()
+        self.split_trees.clear()

@@ -56,6 +56,16 @@ class SweepRunner:
             return True
         return self.num_workers > 1 and num_items > 1
 
+    def will_fan_out(self, num_items: int) -> bool:
+        """Would :meth:`map`/:meth:`starmap` use the pool for this many items?
+
+        Callers whose pooled path has different fidelity than their
+        in-process path (e.g. sweep points that must be rebuilt from
+        picklable parts) use this to take the pooled route only when a
+        pool will actually be engaged.
+        """
+        return self._use_pool(num_items)
+
     def _pool(self, num_items: int):
         # The platform-default start method is deliberate: fork on Linux
         # (workers share the already-imported library), spawn on macOS /

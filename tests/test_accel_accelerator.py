@@ -153,3 +153,101 @@ class TestKnobSensitivity:
         acc = PointCloudAccelerator(hw, NeighborSearchEngine(hw), False)
         with pytest.raises(ValueError):
             acc.run_network(spec, np.zeros((50, 3)), ApproxSetting(0, None))
+
+
+def _small_spec():
+    return NetworkSpec(
+        "mini",
+        (
+            LayerSpec("sa1", 64, 0.4, 8, (3, 16)),
+            LayerSpec("sa2", 16, 0.8, 8, (16, 32)),
+        ),
+    )
+
+
+class TestRunMany:
+    def _fingerprint(self, result):
+        return (
+            result.cycles,
+            result.search_cycles,
+            result.aggregation_cycles,
+            result.mlp_cycles,
+            result.nodes_visited,
+            pytest.approx(result.energy.total),
+        )
+
+    def test_grid_matches_individual_runs(self, hw, rng):
+        spec = _small_spec()
+        clouds = [rng.normal(size=(128, 3)) for _ in range(2)]
+        settings = [ApproxSetting(0, None), ApproxSetting(2, None), ApproxSetting(2, 4)]
+        acc = PointCloudAccelerator(hw, elide_aggregation=True)
+        grid = acc.run_many(spec, clouds, settings, seed=1)
+        assert len(grid) == len(settings)
+        assert all(len(row) == len(clouds) for row in grid)
+        fresh = PointCloudAccelerator(hw, elide_aggregation=True)
+        for i, setting in enumerate(settings):
+            for j, cloud in enumerate(clouds):
+                single = fresh.run_network(spec, cloud, setting, seed=1)
+                assert self._fingerprint(grid[i][j]) == self._fingerprint(single)
+
+    def test_auto_runner_resolving_serial_keeps_engine_state(self, hw, rng):
+        # An "auto" runner that won't actually pool (one worker) must take
+        # the faithful in-process path: a custom engine's non-default
+        # constructor state survives instead of being rebuilt as
+        # type(engine)(hw).
+        from repro.accel import ExhaustiveSplitSearchEngine
+        from repro.runtime import SweepRunner
+
+        spec = _small_spec()
+        clouds = [rng.normal(size=(96, 3))]
+        settings = [ApproxSetting(0, None)]
+        engine = ExhaustiveSplitSearchEngine(hw, reload_on_full_queue=False)
+        acc = PointCloudAccelerator(hw, engine, elide_aggregation=False)
+        direct = acc.run_network(spec, clouds[0], settings[0])
+        swept = acc.run_many(
+            spec, clouds, settings, runner=SweepRunner(num_workers=1, backend="auto")
+        )[0][0]
+        assert self._fingerprint(swept) == self._fingerprint(direct)
+
+    def test_process_backend_matches_serial(self, hw, rng):
+        from repro.runtime import SweepRunner
+
+        spec = _small_spec()
+        clouds = [rng.normal(size=(96, 3))]
+        settings = [ApproxSetting(0, None), ApproxSetting(2, 4)]
+        acc = PointCloudAccelerator(hw, elide_aggregation=True)
+        serial = acc.run_many(spec, clouds, settings)
+        fanned = acc.run_many(
+            spec, clouds, settings,
+            runner=SweepRunner(num_workers=2, backend="process"),
+        )
+        for row_s, row_p in zip(serial, fanned):
+            for a, b in zip(row_s, row_p):
+                assert self._fingerprint(a) == self._fingerprint(b)
+
+
+class TestSessionReuse:
+    def test_session_pools_trees_across_settings(self, hw, rng):
+        from repro.runtime import SearchSession
+
+        spec = _small_spec()
+        cloud = rng.normal(size=(128, 3))
+        session = SearchSession()
+        acc = PointCloudAccelerator(hw, session=session)
+        acc.run_network(spec, cloud, ApproxSetting(2, None), seed=3)
+        built_once = session.trees.stats.misses
+        assert built_once > 0
+        acc.run_network(spec, cloud, ApproxSetting(4, None), seed=3)
+        # The second sweep point reuses every tree (same clouds, same
+        # sampled centroids): no new construction.
+        assert session.trees.stats.misses == built_once
+        assert session.trees.stats.hits >= built_once
+
+    def test_shared_session_results_identical(self, hw, rng):
+        spec = _small_spec()
+        cloud = rng.normal(size=(128, 3))
+        shared = PointCloudAccelerator(hw)
+        a = shared.run_network(spec, cloud, ApproxSetting(2, 4), seed=5)
+        b = shared.run_network(spec, cloud, ApproxSetting(2, 4), seed=5)
+        assert a.cycles == b.cycles
+        assert a.energy.total == pytest.approx(b.energy.total)

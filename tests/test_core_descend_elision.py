@@ -50,13 +50,16 @@ class TestSubstituteAdvance:
         machine.advance(elide=True, substitute=child)
         assert machine.peek() == child  # traversal continues from the child
 
-    def test_substitute_same_node_is_normal_visit(self):
+    def test_substitute_same_node_rejected(self):
+        # A same-address conflict is a broadcast — a *served* fetch the
+        # caller advances with elide=False — never an elision.  The old
+        # elide=True-with-substitute==node backdoor mislabeled broadcasts
+        # with elision semantics and is now an error.
         tree = tree_of(63, seed=3)
         machine = SubtreeSearch(tree, tree.points[0], 10.0, root=0, elide_depth=0)
         node = machine.peek()
-        machine.advance(elide=True, substitute=node)
-        assert machine.stats.nodes_visited == 1
-        assert machine.stats.nodes_skipped == 0
+        with pytest.raises(RuntimeError, match="broadcast"):
+            machine.advance(elide=True, substitute=node)
 
     def test_substitute_must_be_descendant(self):
         tree = tree_of(63, seed=4)

@@ -1,0 +1,229 @@
+"""Equivalence suite: VectorizedLockstep vs the per-step reference engine.
+
+The vectorized engine claims to be *cycle-, stall-, stat-, and
+hit-identical* to :func:`repro.core.approx_search.run_subtree_lockstep`
+driving one :class:`~repro.kdtree.SubtreeSearch` machine per query.  These
+tests pin that claim on randomized clouds, settings, and hardware shapes —
+both through the public ``approximate_ball_query`` routing (full
+:class:`SearchReport` comparison) and at the raw engine level (including
+the ``descend`` elision policy the public API does not expose).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxSetting, TreeBufferBanking
+from repro.core.approx_search import approximate_ball_query
+from repro.core.split_tree import SplitTree
+from repro.kdtree import SubtreeSearch, build_kdtree
+from repro.kdtree.stats import TraversalStats
+from repro.memsim import SramStats
+from repro.runtime import VectorizedLockstep
+
+
+def report_fingerprint(report):
+    """Every observable the two engines must agree on."""
+    t, s = report.traversal, report.tree_sram
+    return {
+        "lockstep_cycles": report.lockstep_cycles,
+        "stall_cycles": report.stall_cycles,
+        "subtrees_loaded": report.subtrees_loaded,
+        "top_tree_visits": report.top_tree_visits,
+        "queue_occupancy": dict(report.queue_occupancy),
+        "nodes_visited": t.nodes_visited,
+        "nodes_skipped": t.nodes_skipped,
+        "nodes_pruned": t.nodes_pruned,
+        "stack_pushes": t.stack_pushes,
+        "stack_pops": t.stack_pops,
+        "neighbors_found": t.neighbors_found,
+        "queries": t.queries,
+        "sram_accesses": s.accesses,
+        "sram_conflicted": s.conflicted,
+        "sram_elided": s.elided,
+        "sram_broadcasts": s.broadcasts,
+        "sram_reads_served": s.reads_served,
+        "sram_cycles": s.cycles,
+    }
+
+
+def run_both(tree, queries, radius, k, setting, banks, pes, simulate):
+    kwargs = dict(
+        banking=TreeBufferBanking(banks),
+        num_pes=pes,
+        simulate_conflicts=simulate,
+    )
+    ref = approximate_ball_query(
+        tree, queries, radius, k, setting, engine="reference", **kwargs
+    )
+    vec = approximate_ball_query(
+        tree, queries, radius, k, setting, engine="vector", **kwargs
+    )
+    return ref, vec
+
+
+class TestRandomizedEquivalence:
+    """Full-report identity over a randomized grid of workloads."""
+
+    def test_randomized_clouds_and_settings(self, rng):
+        for trial in range(25):
+            n = int(rng.integers(30, 600))
+            m = int(rng.integers(1, 90))
+            points = rng.normal(size=(n, 3))
+            queries = rng.normal(size=(m, 3)) * 0.8
+            tree = build_kdtree(points)
+            ht = int(rng.integers(0, 7))
+            he = None if rng.integers(0, 2) else int(rng.integers(0, 9))
+            pes = int(rng.choice([1, 2, 3, 4, 8, 16]))
+            banks = int(rng.choice([1, 2, 4, 8]))
+            simulate = bool(rng.integers(0, 2))
+            radius = float(rng.uniform(0.15, 1.1))
+            k = int(rng.integers(1, 24))
+            ctx = f"trial={trial} n={n} m={m} ht={ht} he={he} pes={pes} banks={banks}"
+            (ri, rc, rr), (vi, vc, vr) = run_both(
+                tree, queries, radius, k, ApproxSetting(ht, he),
+                banks, pes, simulate,
+            )
+            assert np.array_equal(ri, vi), ctx
+            assert np.array_equal(rc, vc), ctx
+            assert report_fingerprint(rr) == report_fingerprint(vr), ctx
+
+    def test_top_hits_fill_buffers(self, rng):
+        # max_neighbors=1 with a huge radius: most machines are done at
+        # creation (top-tree hits fill the result buffer), exercising the
+        # reference's discard-on-refill quirk.
+        points = rng.normal(size=(200, 3))
+        tree = build_kdtree(points)
+        queries = points[rng.choice(200, 40)]
+        (ri, rc, rr), (vi, vc, vr) = run_both(
+            tree, queries, 2.5, 1, ApproxSetting(4, 2), banks=2, pes=4,
+            simulate=True,
+        )
+        assert np.array_equal(ri, vi)
+        assert np.array_equal(rc, vc)
+        assert report_fingerprint(rr) == report_fingerprint(vr)
+
+    def test_single_pe_and_single_bank_extremes(self, rng):
+        points = rng.normal(size=(300, 3))
+        tree = build_kdtree(points)
+        queries = points[rng.choice(300, 48, replace=False)]
+        for pes, banks in ((1, 8), (8, 1)):
+            (ri, rc, rr), (vi, vc, vr) = run_both(
+                tree, queries, 0.5, 8, ApproxSetting(3, 4), banks, pes, True
+            )
+            assert np.array_equal(ri, vi)
+            assert report_fingerprint(rr) == report_fingerprint(vr)
+
+
+class TestEngineLevelEquivalence:
+    """Drive both engines directly on the same machine queues."""
+
+    @pytest.fixture
+    def problem_builder(self, rng, lockstep_groups_builder):
+        def build(n=500, m=48, ht=2):
+            points = rng.normal(size=(n, 3))
+            tree = build_kdtree(points)
+            queries = points[rng.choice(n, m, replace=False)]
+            groups, split = lockstep_groups_builder(tree, queries, ht)
+            return tree, queries, split, groups
+
+        return build
+
+    @pytest.mark.parametrize("policy", ["skip", "descend"])
+    def test_policies_match_reference(
+        self, problem_builder, reference_lockstep_driver, policy
+    ):
+        tree, queries, split, groups = problem_builder()
+        banking = TreeBufferBanking(2)
+        radius, k, he, pes = 0.6, 16, 2, 8
+        cycles, stalls, hits, stats, sram = reference_lockstep_driver(
+            tree, queries, split, groups, radius, k, he, pes, banking,
+            elide_policy=policy,
+        )
+        engine = VectorizedLockstep(
+            tree, banking=banking, num_pes=pes, elide_policy=policy
+        )
+        vstats, vsram = TraversalStats(), SramStats()
+        mach_queries = np.concatenate([q for _, q in groups])
+        outcome = engine.run(
+            queries, radius, groups, np.full(len(mach_queries), k),
+            elide_depth=he, traversal=vstats, sram=vsram,
+        )
+        assert outcome.cycles == cycles
+        assert outcome.stalls == stalls
+        assert {int(q): h for q, h in zip(mach_queries, outcome.hits)} == hits
+        for field in ("nodes_visited", "nodes_skipped", "nodes_pruned",
+                      "stack_pushes", "stack_pops", "neighbors_found"):
+            assert getattr(vstats, field) == getattr(stats, field), field
+        for field in ("accesses", "conflicted", "elided", "broadcasts",
+                      "reads_served", "cycles"):
+            assert getattr(vsram, field) == getattr(sram, field), field
+
+    def test_group_cycles_sum_to_total(self, problem_builder):
+        tree, queries, split, groups = problem_builder(ht=3)
+        engine = VectorizedLockstep(tree, banking=TreeBufferBanking(4), num_pes=4)
+        mach_queries = np.concatenate([q for _, q in groups])
+        outcome = engine.run(
+            queries, 0.5, groups, np.full(len(mach_queries), 8), elide_depth=3
+        )
+        assert len(outcome.group_cycles) == len(groups)
+        assert int(outcome.group_cycles.sum()) == outcome.cycles
+
+    def test_run_free_matches_run_to_completion(self, problem_builder):
+        tree, queries, split, groups = problem_builder(ht=2)
+        stats = TraversalStats()
+        expected = {}
+        for root, q_ids in groups:
+            for qi in q_ids:
+                machine = SubtreeSearch(
+                    tree, queries[qi], 0.5, root=root, max_neighbors=8,
+                    stats=stats,
+                )
+                machine.run_to_completion()
+                expected[int(qi)] = list(machine.hits)
+        engine = VectorizedLockstep(tree)
+        vstats = TraversalStats()
+        mach_queries = np.concatenate([q for _, q in groups])
+        roots = np.concatenate(
+            [np.full(len(q), root, dtype=np.int64) for root, q in groups]
+        )
+        hits = engine.run_free(
+            queries[mach_queries], 0.5, roots,
+            np.full(len(mach_queries), 8), traversal=vstats,
+        )
+        assert {int(q): h for q, h in zip(mach_queries, hits)} == expected
+        for field in ("nodes_visited", "nodes_pruned", "stack_pushes",
+                      "stack_pops", "neighbors_found"):
+            assert getattr(vstats, field) == getattr(stats, field), field
+
+    def test_preorder_slots_match_split_tree_enumeration(self, rng):
+        # The vectorized engine derives bank slots from Euler tin indices;
+        # they must equal the reference's SplitTree.subtree_nodes order.
+        tree = build_kdtree(rng.normal(size=(257, 3)))
+        tree._ensure_euler()
+        split = SplitTree(tree, 3)
+        for root in split.subtree_roots:
+            nodes = split.subtree_nodes(int(root))
+            slots = tree.tin[nodes] - tree.tin[int(root)]
+            assert np.array_equal(slots, np.arange(len(nodes)))
+
+    def test_rejects_bad_arguments(self, rng):
+        tree = build_kdtree(rng.normal(size=(31, 3)))
+        with pytest.raises(ValueError):
+            VectorizedLockstep(tree, num_pes=0)
+        with pytest.raises(ValueError):
+            VectorizedLockstep(tree, elide_policy="bogus")
+        engine = VectorizedLockstep(tree)  # no banking
+        with pytest.raises(ValueError):
+            engine.run(np.zeros((1, 3)), 0.5, [(0, np.array([0]))], np.array([4]))
+
+    def test_record_trace_routes_to_reference(self, rng):
+        # The vectorized engine records no visit trace; record_trace must
+        # transparently use the reference machines.
+        points = rng.normal(size=(120, 3))
+        tree = build_kdtree(points)
+        queries = points[:10]
+        _, _, report = approximate_ball_query(
+            tree, queries, 0.5, 8, ApproxSetting(2, None),
+            simulate_conflicts=False, record_trace=True, engine="vector",
+        )
+        assert len(report.traversal.visit_trace) > 0

@@ -1,9 +1,11 @@
-"""Micro-benchmark: the batched engine must beat the per-query loop.
+"""Micro-benchmarks: the vectorized engines must beat their Python loops.
 
-Acceptance floor from the runtime issue: ≥3× on a 4096-point cloud (the
-measured margin is typically >10×, so the assertion has real headroom
-against noisy CI machines).  Marked ``slow``: the per-query reference loop
-itself is the expensive part.
+Acceptance floors from the runtime issues, both on a 4096-point cloud:
+≥3× for the batched exact query vs the per-query searcher, and ≥5× for
+the vectorized lockstep engine vs the per-step ``run_subtree_lockstep``
+reference (measured margins are typically well above both, so the
+assertions have real headroom against noisy machines).  Marked ``slow``:
+the Python reference loops themselves are the expensive part.
 """
 
 import time
@@ -11,8 +13,10 @@ import time
 import numpy as np
 import pytest
 
+from repro.core import TreeBufferBanking
 from repro.kdtree import ball_query, build_kdtree
-from repro.runtime import BatchedBallQuery
+from repro.memsim import SramStats
+from repro.runtime import BatchedBallQuery, VectorizedLockstep
 
 pytestmark = pytest.mark.slow
 
@@ -21,6 +25,18 @@ N_QUERIES = 4096
 RADIUS = 0.1
 MAX_NEIGHBORS = 16
 MIN_SPEEDUP = 3.0
+
+# Lockstep bench: proportional split for a height-13 tree (the paper's
+# h_t = 4 on height-8 trees carves half the levels; 4096 points build
+# height 13, hence h_t = 6), gentle elision three levels above the
+# leaves, and the Fig. 22 high-parallelism hardware point (8 PEs x 8
+# banks) where the per-step Python reference is most expensive.
+LOCKSTEP_RADIUS = 0.25
+LOCKSTEP_TOP_HEIGHT = 6
+LOCKSTEP_ELISION = 10
+LOCKSTEP_PES = 8
+LOCKSTEP_BANKS = 8
+LOCKSTEP_MIN_SPEEDUP = 5.0
 
 
 def _best_of(repeats, fn):
@@ -54,4 +70,52 @@ def test_batched_beats_per_query_loop_on_4k_cloud(rng):
     assert speedup >= MIN_SPEEDUP, (
         f"batched engine only {speedup:.2f}x faster "
         f"({loop_time:.3f}s loop vs {batched_time:.3f}s batched)"
+    )
+
+
+def test_vectorized_lockstep_beats_reference_loop_on_4k_cloud(
+    rng, lockstep_groups_builder, reference_lockstep_driver
+):
+    pts = rng.normal(size=(N_POINTS, 3))
+    queries = pts[rng.permutation(N_POINTS)]
+    tree = build_kdtree(pts)
+    groups, split = lockstep_groups_builder(tree, queries, LOCKSTEP_TOP_HEIGHT)
+    banking = TreeBufferBanking(LOCKSTEP_BANKS)
+    mach_queries = np.concatenate([q for _, q in groups])
+    max_hits = np.full(len(mach_queries), MAX_NEIGHBORS, dtype=np.int64)
+
+    def reference():
+        cycles, stalls, hits, _, sram = reference_lockstep_driver(
+            tree, queries, split, groups, LOCKSTEP_RADIUS, MAX_NEIGHBORS,
+            LOCKSTEP_ELISION, LOCKSTEP_PES, banking,
+        )
+        return cycles, stalls, hits, sram
+
+    def vectorized():
+        sram = SramStats()
+        engine = VectorizedLockstep(
+            tree, banking=banking, num_pes=LOCKSTEP_PES
+        )
+        outcome = engine.run(
+            queries, LOCKSTEP_RADIUS, groups, max_hits,
+            elide_depth=LOCKSTEP_ELISION, sram=sram,
+        )
+        hits = {int(q): h for q, h in zip(mach_queries, outcome.hits)}
+        return outcome.cycles, outcome.stalls, hits, sram
+
+    vectorized()  # warm-up
+    ref_time, ref = _best_of(1, reference)
+    vec_time, vec = _best_of(3, vectorized)
+
+    # Identical simulation, much less time.
+    assert vec[0] == ref[0]  # cycles
+    assert vec[1] == ref[1]  # stalls
+    assert vec[2] == ref[2]  # every machine's hits
+    for field in ("accesses", "conflicted", "elided", "broadcasts",
+                  "reads_served", "cycles"):
+        assert getattr(vec[3], field) == getattr(ref[3], field), field
+    speedup = ref_time / vec_time
+    assert speedup >= LOCKSTEP_MIN_SPEEDUP, (
+        f"vectorized lockstep only {speedup:.2f}x faster "
+        f"({ref_time:.3f}s reference vs {vec_time:.3f}s vectorized)"
     )

@@ -106,5 +106,30 @@ class TestSearchSession:
         session = SearchSession()
         pts = rng.normal(size=(30, 3))
         session.ball_query(pts, pts[:4], 0.5, 4, cache_key="k")
+        tree = session.tree_for(pts)
+        session.split_tree_for(tree, 2)
         session.clear()
         assert len(session.results) == 0 and len(session.trees) == 0
+        assert len(session.split_trees) == 0
+
+    def test_split_tree_for_reuses_layout(self, rng):
+        session = SearchSession()
+        pts = rng.normal(size=(60, 3))
+        tree = session.tree_for(pts)
+        split = session.split_tree_for(tree, 2)
+        assert session.split_tree_for(tree, 2) is split
+        assert session.split_tree_for(tree, 3) is not split
+        assert session.split_trees.stats.hits == 1
+
+    def test_split_tree_keyed_by_structure(self, rng):
+        # Same coordinates, different split rule: structurally different
+        # trees must not share split-tree cache entries.
+        from repro.kdtree import build_kdtree
+        from repro.runtime import tree_digest
+
+        pts = rng.normal(size=(60, 3))
+        widest = build_kdtree(pts, split_rule="widest")
+        cycled = build_kdtree(pts, split_rule="cycle")
+        assert tree_digest(widest) != tree_digest(cycled)
+        session = SearchSession()
+        assert session.split_tree_for(widest, 2) is not session.split_tree_for(cycled, 2)
