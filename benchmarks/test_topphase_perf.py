@@ -1,0 +1,63 @@
+"""Benchmark-lane guard for the vectorized top-tree phase.
+
+Every conflict-simulated search charges phase-1 cycles through
+:func:`repro.runtime.vectorized_top_phase`, so a regression that silently
+sends it back to the per-group Python loop would slow the whole figure
+suite without failing anything — the same failure mode
+``test_lockstep_perf.py`` guards for phase 2.  This bench runs in the CI
+smoke lane (it is *not* marked slow): a down-scaled descent workload, an
+identity check against the per-group reference loop, and a conservative
+speed floor — well under the ≥5x the full-size
+``tests/test_runtime_perf.py`` bench demonstrates (measured ~30x here),
+so shared-runner noise cannot flake it, but far above any Python-loop
+fallback (which measures at ~1x by construction).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TreeBufferBanking
+from repro.core.split_tree import SplitTree
+from repro.kdtree import build_kdtree
+from repro.runtime import reference_top_phase, vectorized_top_phase
+
+N_POINTS = 2048
+N_QUERIES = 1024
+TOP_HEIGHT = 5  # proportional split for the height-12 tree
+NUM_PES = 8
+NUM_BANKS = 8
+FILL_CYCLES = 4
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(20260730)
+    pts = rng.normal(size=(N_POINTS, 3))
+    queries = pts[rng.permutation(N_POINTS)[:N_QUERIES]]
+    split = SplitTree(build_kdtree(pts), TOP_HEIGHT)
+    return split, queries, TreeBufferBanking(NUM_BANKS)
+
+
+def test_topphase_vectorization_does_not_regress(workload):
+    split, queries, banking = workload
+    vectorized_top_phase(split, queries, NUM_PES, banking, FILL_CYCLES)  # warm-up
+
+    t0 = time.perf_counter()
+    ref = reference_top_phase(split, queries, NUM_PES, banking, FILL_CYCLES)
+    ref_time = time.perf_counter() - t0
+    vec_time = float("inf")
+    vec = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        vec = vectorized_top_phase(split, queries, NUM_PES, banking, FILL_CYCLES)
+        vec_time = min(vec_time, time.perf_counter() - t0)
+
+    assert vec == ref  # (cycles, stalls) identical
+    speedup = ref_time / vec_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized top phase only {speedup:.2f}x faster "
+        f"({ref_time:.3f}s reference vs {vec_time:.3f}s vectorized)"
+    )

@@ -17,7 +17,7 @@ matrix that aggregation consumes, which feeds the MLP).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence, Tuple, Type
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from ..core.config import ApproxSetting, CrescentHardwareConfig
 from ..kdtree.build import KdTree
 from ..memsim.dram import DramUsage
 from ..memsim.energy import EnergyBreakdown
+from ..runtime.network import layer_sampling_plan, run_network_grid
 from ..runtime.session import SearchSession
 from ..runtime.sweep import SweepRunner
 from .aggregation import AggregationUnit
@@ -178,16 +179,26 @@ class PointCloudAccelerator:
         points: np.ndarray,
         spec: LayerSpec,
         setting: ApproxSetting,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator] = None,
+        queries: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, LayerResult]:
-        """Execute one layer over ``points``; returns the next layer's points."""
+        """Execute one layer over ``points``; returns the next layer's points.
+
+        Centroids are either sampled from ``rng`` or passed pre-sampled as
+        ``queries`` (the shared-plan path of
+        :func:`~repro.runtime.network.run_network_grid`, where one draw
+        serves every setting of a sweep).
+        """
         points = np.asarray(points, dtype=np.float64)
         if spec.num_queries > len(points):
             raise ValueError(
                 f"layer {spec.name!r} wants {spec.num_queries} queries from "
                 f"{len(points)} points"
             )
-        queries = points[rng.choice(len(points), spec.num_queries, replace=False)]
+        if queries is None:
+            if rng is None:
+                raise ValueError("run_layer needs either rng or queries")
+            queries = points[rng.choice(len(points), spec.num_queries, replace=False)]
         tree = self.session.tree_for(points)
         indices, counts, search = self.search_engine.run(
             tree, queries, spec.radius, spec.max_neighbors, setting
@@ -221,17 +232,25 @@ class PointCloudAccelerator:
         points: np.ndarray,
         setting: ApproxSetting,
         seed: int = 0,
+        plan: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]] = None,
     ) -> NetworkResult:
         """Execute every layer of ``spec`` starting from ``points``.
 
         Each layer's query set (the sampled centroids) becomes the next
         layer's point population, mirroring hierarchical set abstraction.
+        ``plan`` optionally supplies the per-layer ``(points, queries)``
+        chain pre-sampled by
+        :func:`~repro.runtime.network.layer_sampling_plan` — bit-identical
+        to sampling here, so sweeps draw each cloud's centroids once and
+        replay them under every setting.
         """
-        rng = np.random.default_rng(seed)
+        if plan is None:
+            plan = layer_sampling_plan(spec, points, seed)
         result = NetworkResult(name=spec.name)
-        current = np.asarray(points, dtype=np.float64)
-        for layer in spec.layers:
-            current, layer_result = self.run_layer(current, layer, setting, rng)
+        for layer, (layer_points, layer_queries) in zip(spec.layers, plan):
+            _, layer_result = self.run_layer(
+                layer_points, layer, setting, queries=layer_queries
+            )
             result.layers.append(layer_result)
         if spec.head_mlp_rows > 0 and spec.head_mlp_channels:
             head = self.systolic.shared_mlp(
@@ -273,53 +292,17 @@ class PointCloudAccelerator:
 
         Worker processes rebuild the accelerator from picklable parts —
         the hardware config, the elision flag, and the search engine
-        *class* (reconstructed as ``type(engine)(hw)``) — so engines with
-        unpicklable runtime state still sweep; engines whose constructors
-        need more than ``hw`` should be swept serially.  The rebuild only
-        happens when the runner will actually engage its pool: a runner
-        that resolves to serial execution (``backend="serial"``, or
-        ``"auto"`` with one worker or one job) takes the faithful
+        *class* (reconstructed as ``type(engine)(hw, session=...)``, or
+        ``type(engine)(hw)`` for engines without a session parameter) —
+        so engines with unpicklable runtime state still sweep; engines
+        whose constructors need more than that should be swept serially.
+        Each worker process keeps one long-lived session, so its jobs
+        share trees, split-tree layouts, and sampling plans.  The rebuild
+        only happens when the runner will actually engage its pool: a
+        runner that resolves to serial execution (``backend="serial"``,
+        or ``"auto"`` with one worker or one job) takes the faithful
         in-process path through this accelerator's own engine.
         """
-        clouds = list(clouds)
-        settings = list(settings)
-        if runner is None or not runner.will_fan_out(len(settings) * len(clouds)):
-            return [
-                [
-                    self.run_network(spec, cloud, setting, seed=seed)
-                    for cloud in clouds
-                ]
-                for setting in settings
-            ]
-        jobs = [
-            (
-                self.hw,
-                type(self.search_engine),
-                self.elide_aggregation,
-                spec,
-                np.asarray(cloud, dtype=np.float64),
-                setting,
-                seed,
-            )
-            for setting in settings
-            for cloud in clouds
-        ]
-        flat = runner.starmap(_run_network_job, jobs)
-        ncols = len(clouds)
-        return [flat[i : i + ncols] for i in range(0, len(flat), ncols)]
-
-
-def _run_network_job(
-    hw: CrescentHardwareConfig,
-    engine_cls: Type,
-    elide_aggregation: bool,
-    spec: NetworkSpec,
-    cloud: np.ndarray,
-    setting: ApproxSetting,
-    seed: int,
-) -> NetworkResult:
-    """One ``run_many`` sweep point (module-level: process pools pickle it)."""
-    accelerator = PointCloudAccelerator(
-        hw, engine_cls(hw), elide_aggregation=elide_aggregation
-    )
-    return accelerator.run_network(spec, cloud, setting, seed=seed)
+        return run_network_grid(
+            self, spec, clouds, settings, seed=seed, runner=runner
+        )

@@ -7,8 +7,12 @@ input-dependent bank conflicts, which either serialize (baseline) or are
 elided by replicating the winner's data (Crescent, paper Sec. 4.2).
 
 Timing: one group of ``num_ports`` concurrent fetches issues per cycle;
-a group with a ``c``-way worst bank collision takes ``c`` cycles in stall
-mode and 1 cycle in elide mode.
+a group whose worst bank serves ``c`` *distinct* point ids takes ``c``
+cycles in stall mode and 1 cycle in elide mode.  Requests for the same
+point id are satisfied by one broadcast read in both modes (the point
+buffer's wide words hold a whole record, so the winner's read carries the
+loser's data): they are ledgered in ``SramStats.broadcasts``, excluded
+from ``conflicted``/``elided``, and charge no read energy.
 """
 
 from __future__ import annotations
@@ -18,7 +22,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..core.bank_conflict import PointBufferBanking, apply_aggregation_elision
+from ..core.bank_conflict import (
+    PointBufferBanking,
+    apply_aggregation_elision,
+    point_buffer_stall_stats,
+)
 from ..core.config import CrescentHardwareConfig
 from ..memsim.dram import DramModel, DramUsage
 from ..memsim.energy import EnergyBreakdown
@@ -73,23 +81,12 @@ class AggregationUnit:
             cycles = sram.cycles
         else:
             effective = indices
-            # Stall mode: each group of num_ports requests serializes to the
-            # worst per-bank occupancy; every non-first request to a bank is
-            # conflicted.
-            nb = self.banking.num_banks
-            for start in range(0, k, self.num_ports):
-                chunk = indices[:, start : start + self.num_ports]
-                banks = self.banking.bank_of_point(chunk)  # (M, P)
-                counts = (
-                    banks[:, :, None] == np.arange(nb)[None, None, :]
-                ).sum(axis=1)  # (M, nb): requests per bank per group
-                group_cycles = counts.max(axis=1)
-                distinct = (counts > 0).sum(axis=1)
-                cycles += int(group_cycles.sum())
-                sram.accesses += chunk.size
-                sram.reads_served += chunk.size
-                sram.conflicted += chunk.size - int(distinct.sum())
-                sram.cycles += int(group_cycles.sum())
+            # Stall mode: the shared baseline ledger — the same accounting
+            # Fig. 5's aggregation_conflict_rate reports, so the metric
+            # and the modeled hardware can never drift apart.
+            cycles = point_buffer_stall_stats(
+                indices, self.banking, self.num_ports, stats=sram
+            )
 
         # DRAM: streaming load of all point records once, streaming write of
         # the aggregated matrix is consumed on-chip by the MLP (no write-back).

@@ -25,9 +25,12 @@ Absolute GPU latencies are not meaningful; only bar ordering is.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.session import SearchSession
 
 from ..core.config import ApproxSetting, CrescentHardwareConfig, valid_top_heights
 from ..core.split_tree import SplitTree
@@ -230,12 +233,18 @@ class ExhaustiveSplitSearchEngine:
 
 def make_mesorasi(
     hw: CrescentHardwareConfig = CrescentHardwareConfig(),
+    session: Optional["SearchSession"] = None,
 ) -> PointCloudAccelerator:
-    """The Mesorasi baseline: Tigris search + stall-mode aggregation."""
+    """The Mesorasi baseline: Tigris search + stall-mode aggregation.
+
+    ``session`` optionally pools K-d trees with other accelerators in a
+    sweep (the search engine itself lays out its own splits).
+    """
     return PointCloudAccelerator(
         hw=hw,
         search_engine=ExhaustiveSplitSearchEngine(hw),
         elide_aggregation=False,
+        session=session,
     )
 
 

@@ -30,10 +30,11 @@ if TYPE_CHECKING:  # pragma: no cover
 from ..core.approx_search import SearchReport, approximate_ball_query
 from ..core.bank_conflict import TreeBufferBanking
 from ..core.config import ApproxSetting, CrescentHardwareConfig
-from ..core.split_tree import SplitTree, descend_step
+from ..core.split_tree import SplitTree
 from ..kdtree.build import NODE_BYTES, KdTree
 from ..memsim.dram import DramModel, DramUsage
 from ..memsim.energy import EnergyBreakdown
+from ..runtime.topphase import vectorized_top_phase
 from .pe import PIPELINE_DEPTH, FiveStagePipeline
 
 __all__ = ["SearchEngineResult", "NeighborSearchEngine", "QUERY_BYTES", "INDEX_BYTES"]
@@ -95,48 +96,20 @@ class NeighborSearchEngine:
         minus the first-served node's PE count stalls (PEs fetching the
         same node share one broadcast read and are served together).  A
         query whose branch runs out of children early parks: it issues no
-        further fetches, matching the functional phase-1 accounting.
+        further fetches, matching the functional phase-1 accounting — and
+        a group whose queries all park before issuing any fetch is not
+        charged the pipeline fill/drain.  All groups advance together
+        through :func:`repro.runtime.vectorized_top_phase`; the per-group
+        loop survives as :func:`repro.runtime.reference_top_phase`,
+        pinned identical by the randomized equivalence suite.
         """
-        tree = split.tree
-        top_height = split.top_height
-        if top_height == 0:
-            return 0, 0
-        num_pes = self.hw.num_pes
-        top_nodes = split.top_nodes  # ascending ids == buffer layout order
-        m = len(queries)
-        total_cycles = 0
-        total_stalls = 0
-        for start in range(0, m, num_pes):
-            group = queries[start : start + num_pes]
-            current = np.full(len(group), tree.root, dtype=np.int64)
-            alive = np.ones(len(group), dtype=bool)
-            for _ in range(top_height):
-                fetching = np.nonzero(alive)[0]
-                if len(fetching) == 0:
-                    break
-                # Same node ⇒ broadcast; same bank, different node ⇒ stall.
-                uniq_nodes, pe_counts = np.unique(
-                    current[fetching], return_counts=True
-                )
-                slots = np.searchsorted(top_nodes, uniq_nodes)
-                banks = self.banking.bank_of_slot(slots)
-                occupancy = np.bincount(banks, minlength=self.banking.num_banks)
-                level_cycles = int(occupancy.max()) if len(uniq_nodes) else 1
-                total_cycles += level_cycles
-                # One stall per losing PE: nodes after the first served in
-                # their bank keep their PEs waiting (np.unique orders
-                # nodes ascending, the buffer's service order).
-                order = np.argsort(banks, kind="stable")
-                first_in_bank = np.ones(len(order), dtype=bool)
-                sorted_banks = banks[order]
-                first_in_bank[1:] = sorted_banks[1:] != sorted_banks[:-1]
-                total_stalls += int(pe_counts[order][~first_in_bank].sum())
-                nxt, parked = descend_step(tree, group[fetching], current[fetching])
-                if parked.any():
-                    alive[fetching[parked]] = False
-                current[fetching[~parked]] = nxt[~parked]
-            total_cycles += PIPELINE_DEPTH - 1  # fill/drain per group
-        return total_cycles, total_stalls
+        return vectorized_top_phase(
+            split,
+            queries,
+            self.hw.num_pes,
+            self.banking,
+            fill_cycles=PIPELINE_DEPTH - 1,
+        )
 
     # ------------------------------------------------------------------
     def run(

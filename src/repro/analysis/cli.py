@@ -194,6 +194,7 @@ def fig23() -> str:
     """
     from ..accel.accelerator import PointCloudAccelerator
     from ..accel.baselines import make_mesorasi
+    from ..runtime.session import SearchSession
 
     name = "PointNet++ (c)"
     spec = evaluation_networks()[name]
@@ -203,10 +204,15 @@ def fig23() -> str:
         ApproxSetting(2, None), ApproxSetting(4, None),
         ApproxSetting(4, 8), ApproxSetting(6, 8),
     ]
-    baselines = make_mesorasi(hw).run_many(spec, clouds, [ApproxSetting(0, None)])[0]
-    # Default-constructed engine shares the accelerator's session: each
-    # cloud's trees and split-tree layouts are built once for the grid.
-    crescent = PointCloudAccelerator(hw, elide_aggregation=True)
+    # One session for the baseline and Crescent grids: each cloud's trees,
+    # split-tree layouts, and sampling plans are built once for the whole
+    # figure (the default-constructed engine shares the accelerator's
+    # session).
+    session = SearchSession()
+    baselines = make_mesorasi(hw, session=session).run_many(
+        spec, clouds, [ApproxSetting(0, None)]
+    )[0]
+    crescent = PointCloudAccelerator(hw, elide_aggregation=True, session=session)
     grid = crescent.run_many(spec, clouds, settings)
     rows = []
     for setting, row in zip(settings, grid):

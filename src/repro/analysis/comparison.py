@@ -22,6 +22,8 @@ from ..accel.baselines import (
 from ..accel.search_engine import NeighborSearchEngine
 from ..accel.workloads import evaluation_hardware, evaluation_networks, workload_points
 from ..core.config import ApproxSetting, CrescentHardwareConfig
+from ..runtime.network import plan_for, worker_session
+from ..runtime.sweep import SweepRunner
 
 __all__ = ["SuiteResult", "run_evaluation_suite", "energy_saving_contributions"]
 
@@ -62,36 +64,72 @@ class SuiteResult:
         return self.ans_bce.energy.total / self.mesorasi.energy.total
 
 
+def _suite_point(
+    hw: CrescentHardwareConfig,
+    name: str,
+    setting_ans: ApproxSetting,
+    setting_bce: ApproxSetting,
+    seed: int,
+) -> SuiteResult:
+    """All variants' results for one network (module-level: pools pickle it).
+
+    One :class:`~repro.runtime.SearchSession` serves every variant — the
+    Mesorasi baseline, ANS, and ANS+BCE all query the same layer clouds,
+    so trees are built once per layer, split-tree layouts once per
+    ``h_t`` — and one sampling plan fixes the centroids for all three.
+    Under :class:`~repro.runtime.SweepRunner` fan-out the session is the
+    worker process's long-lived one, pooling across networks too.
+    """
+    session = worker_session()
+    spec = evaluation_networks()[name]
+    points = workload_points(name, seed=seed)
+    plan = plan_for(session, spec, points, seed)
+    mesorasi = make_mesorasi(hw, session=session)
+    ans_acc = PointCloudAccelerator(
+        hw, NeighborSearchEngine(hw, session=session),
+        elide_aggregation=False, session=session,
+    )
+    bce_acc = PointCloudAccelerator(
+        hw, NeighborSearchEngine(hw, session=session),
+        elide_aggregation=True, session=session,
+    )
+    base = mesorasi.run_network(spec, points, ApproxSetting(0, None), seed=seed, plan=plan)
+    ans = ans_acc.run_network(spec, points, setting_ans, seed=seed, plan=plan)
+    bce = bce_acc.run_network(spec, points, setting_bce, seed=seed, plan=plan)
+    gpu_cycles, gpu_energy = gpu_network_result(base)
+    tg_cycles, tg_energy = tigris_gpu_network_result(base)
+    return SuiteResult(
+        name=name,
+        mesorasi=base,
+        ans=ans,
+        ans_bce=bce,
+        gpu_cycles=gpu_cycles,
+        gpu_energy=gpu_energy,
+        tigris_gpu_cycles=tg_cycles,
+        tigris_gpu_energy=tg_energy,
+    )
+
+
 def run_evaluation_suite(
     hw: Optional[CrescentHardwareConfig] = None,
     setting_ans: ApproxSetting = HEADLINE_SETTING_ANS,
     setting_bce: ApproxSetting = HEADLINE_SETTING_BCE,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, SuiteResult]:
-    """Run all four networks on Mesorasi, ANS, ANS+BCE, and the GPU models."""
+    """Run all four networks on Mesorasi, ANS, ANS+BCE, and the GPU models.
+
+    Networks are independent sweep points: pass a
+    :class:`~repro.runtime.SweepRunner` to fan them across worker
+    processes (order-preserving; each worker's long-lived session pools
+    trees across its jobs).  The default runs them in-process through one
+    shared session.
+    """
     hw = hw or evaluation_hardware()
-    mesorasi = make_mesorasi(hw)
-    ans_acc = PointCloudAccelerator(hw, NeighborSearchEngine(hw), elide_aggregation=False)
-    bce_acc = PointCloudAccelerator(hw, NeighborSearchEngine(hw), elide_aggregation=True)
-    out: Dict[str, SuiteResult] = {}
-    for name, spec in evaluation_networks().items():
-        points = workload_points(name, seed=seed)
-        base = mesorasi.run_network(spec, points, ApproxSetting(0, None), seed=seed)
-        ans = ans_acc.run_network(spec, points, setting_ans, seed=seed)
-        bce = bce_acc.run_network(spec, points, setting_bce, seed=seed)
-        gpu_cycles, gpu_energy = gpu_network_result(base)
-        tg_cycles, tg_energy = tigris_gpu_network_result(base)
-        out[name] = SuiteResult(
-            name=name,
-            mesorasi=base,
-            ans=ans,
-            ans_bce=bce,
-            gpu_cycles=gpu_cycles,
-            gpu_energy=gpu_energy,
-            tigris_gpu_cycles=tg_cycles,
-            tigris_gpu_energy=tg_energy,
-        )
-    return out
+    names = list(evaluation_networks())
+    jobs = [(hw, name, setting_ans, setting_bce, seed) for name in names]
+    runner = runner or SweepRunner(backend="serial")
+    return {r.name: r for r in runner.starmap(_suite_point, jobs)}
 
 
 def energy_saving_contributions(result: SuiteResult) -> Dict[str, float]:

@@ -18,6 +18,8 @@ from ..core.approx_search import approximate_ball_query
 from ..core.config import ApproxSetting, CrescentHardwareConfig
 from ..kdtree.build import build_kdtree
 from ..memsim.sram import BankedSramConfig
+from ..runtime.network import plan_for, worker_session
+from ..runtime.session import SearchSession
 from ..runtime.sweep import SweepRunner
 
 __all__ = [
@@ -92,6 +94,45 @@ class SensitivityCell:
     norm_energy: float
 
 
+def _sensitivity_cell(
+    spec: NetworkSpec,
+    points: np.ndarray,
+    setting: ApproxSetting,
+    pes: int,
+    banks: int,
+    base_hw: CrescentHardwareConfig,
+) -> SensitivityCell:
+    """One Fig. 22 grid cell (module-level: process pools pickle it).
+
+    K-d trees and split-tree layouts are geometry-only, so every cell of
+    the #PE × #banks grid shares them through the calling process's
+    long-lived session (:func:`~repro.runtime.worker_session`) — the
+    hardware override changes arbitration and timing, not layout.  The
+    sampling plan is shared the same way.
+    """
+    session = worker_session()
+    hw = base_hw.with_overrides(
+        num_pes=pes,
+        tree_buffer=BankedSramConfig(
+            size_bytes=base_hw.tree_buffer.size_bytes, num_banks=banks
+        ),
+    )
+    plan = plan_for(session, spec, points, 0)
+    baseline = make_mesorasi(hw, session=session).run_network(
+        spec, points, ApproxSetting(0, None), plan=plan
+    )
+    crescent = PointCloudAccelerator(
+        hw, NeighborSearchEngine(hw, session=session),
+        elide_aggregation=True, session=session,
+    ).run_network(spec, points, setting, plan=plan)
+    return SensitivityCell(
+        num_pes=pes,
+        num_banks=banks,
+        speedup=baseline.cycles / crescent.cycles,
+        norm_energy=crescent.energy.total / baseline.energy.total,
+    )
+
+
 def hw_sensitivity(
     spec: NetworkSpec,
     points: np.ndarray,
@@ -99,36 +140,25 @@ def hw_sensitivity(
     pes_list: Sequence[int],
     banks_list: Sequence[int],
     base_hw: CrescentHardwareConfig = CrescentHardwareConfig(),
+    runner: Optional[SweepRunner] = None,
 ) -> List[SensitivityCell]:
     """Fig. 22: speedup and normalized energy over #PE × #banks.
 
     Each cell compares Crescent (ANS+BCE) against the Mesorasi baseline
-    *on the same hardware configuration*, as the paper does.
+    *on the same hardware configuration*, as the paper does.  Cells are
+    independent sweep points: the grid goes through a
+    :class:`~repro.runtime.SweepRunner` (serial by default), sharing
+    trees, split-tree layouts, and centroid plans per process since none
+    of them depend on the swept hardware.
     """
-    cells: List[SensitivityCell] = []
-    for banks in banks_list:
-        for pes in pes_list:
-            hw = base_hw.with_overrides(
-                num_pes=pes,
-                tree_buffer=BankedSramConfig(
-                    size_bytes=base_hw.tree_buffer.size_bytes, num_banks=banks
-                ),
-            )
-            baseline = make_mesorasi(hw).run_network(
-                spec, points, ApproxSetting(0, None)
-            )
-            crescent = PointCloudAccelerator(
-                hw, NeighborSearchEngine(hw), elide_aggregation=True
-            ).run_network(spec, points, setting)
-            cells.append(
-                SensitivityCell(
-                    num_pes=pes,
-                    num_banks=banks,
-                    speedup=baseline.cycles / crescent.cycles,
-                    norm_energy=crescent.energy.total / baseline.energy.total,
-                )
-            )
-    return cells
+    points = np.asarray(points, dtype=np.float64)
+    jobs = [
+        (spec, points, setting, pes, banks, base_hw)
+        for banks in banks_list
+        for pes in pes_list
+    ]
+    runner = runner or SweepRunner(backend="serial")
+    return runner.starmap(_sensitivity_cell, jobs)
 
 
 def knob_performance_sweep(
@@ -147,16 +177,21 @@ def knob_performance_sweep(
     discipline), so trees and split-trees are laid out once per cloud and
     an optional ``runner`` fans the grid across worker processes.
     """
-    baseline = make_mesorasi(hw).run_network(spec, points, ApproxSetting(0, None))
+    session = SearchSession()
+    baseline = make_mesorasi(hw, session=session).run_network(
+        spec, points, ApproxSetting(0, None),
+        plan=plan_for(session, spec, points, 0),
+    )
     settings = list(settings)
     runs: Dict[Tuple[int, Optional[int]], "NetworkResult"] = {}
     for elide in (False, True):
         subset = [s for s in settings if s.uses_elision == elide]
         if not subset:
             continue
-        # Default-constructed engine: it shares the accelerator's session,
-        # so trees *and* split-tree layouts pool across the subset.
-        acc = PointCloudAccelerator(hw, elide_aggregation=elide)
+        # Default-constructed engine: it shares the accelerator's session
+        # (shared in turn with the baseline), so trees *and* split-tree
+        # layouts pool across the baseline and both elision-mode subsets.
+        acc = PointCloudAccelerator(hw, elide_aggregation=elide, session=session)
         for setting, row in zip(subset, acc.run_many(spec, [points], subset, runner=runner)):
             runs[(setting.top_height, setting.elision_height)] = row[0]
     out: Dict[Tuple[int, Optional[int]], Tuple[float, float]] = {}

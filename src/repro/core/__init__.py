@@ -7,6 +7,7 @@ from .bank_conflict import (
     TreeBufferBanking,
     aggregation_conflict_rate,
     apply_aggregation_elision,
+    point_buffer_stall_stats,
 )
 from .approx_search import SearchReport, approximate_ball_query, run_subtree_lockstep
 from .pipeline import ApproximationPipeline
@@ -20,6 +21,7 @@ __all__ = [
     "TreeBufferBanking",
     "aggregation_conflict_rate",
     "apply_aggregation_elision",
+    "point_buffer_stall_stats",
     "ApproximationPipeline",
     "SearchReport",
     "approximate_ball_query",

@@ -9,7 +9,11 @@ Two on-chip buffers suffer input-dependent conflicts:
   :func:`apply_aggregation_elision`, which rewrites the neighbor index
   matrix exactly the way the elision hardware does: a conflicted fetch
   observes the winner's data, i.e. the loser's neighbor is replaced by the
-  winner's neighbor (hardware-implicit replication, Sec. 4.2).
+  winner's neighbor (hardware-implicit replication, Sec. 4.2).  Requests
+  for the *same point id* are not conflicts at all: the winner's read is
+  broadcast to them (mirroring the tree buffer's same-address discipline),
+  so duplicate ids — guaranteed by ``ball_query``'s repeat-first-neighbor
+  padding — serialize nothing and replicate nothing.
 
 Both models are deterministic given the banking configuration, which is
 what lets training replay inference-time behaviour (Sec. 5).
@@ -28,6 +32,7 @@ __all__ = [
     "TreeBufferBanking",
     "PointBufferBanking",
     "apply_aggregation_elision",
+    "point_buffer_stall_stats",
     "aggregation_conflict_rate",
 ]
 
@@ -73,11 +78,18 @@ class PointBufferBanking:
         return np.asarray(point_id, dtype=np.int64) % self.num_banks
 
 
-def _first_occurrence_winner(banks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """For each row of ``banks`` (G, P): loser mask and winner column index.
+def _first_occurrence_winner(
+    chunk: np.ndarray, banks: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Arbitrate one ``(G, P)`` group of point-buffer requests.
 
     ``lost[g, j]`` is True when some column ``k < j`` requested the same
-    bank; ``winner[g, j]`` is that first column (or ``j`` itself if it won).
+    bank; ``winner[g, j]`` is that first column — the bank's arbitration
+    winner — or ``j`` itself if it won.  ``bcast[g, j]`` marks the losers
+    whose point id equals the winner's: the winner's read is broadcast to
+    them (the wide-word layout puts a whole point record on one bank
+    word), so they are *served*, not conflicted — a duplicate id never
+    serializes, costs no extra read energy, and keeps its own data.
     """
     g, p = banks.shape
     same = banks[:, :, None] == banks[:, None, :]  # (G, P, P): [g, j, k]
@@ -85,7 +97,8 @@ def _first_occurrence_winner(banks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]
     same_earlier = same & earlier[None, :, :]
     lost = same_earlier.any(axis=2)
     winner = np.where(lost, np.argmax(same_earlier, axis=2), np.arange(p)[None, :])
-    return lost, winner
+    bcast = lost & (np.take_along_axis(chunk, winner, axis=1) == chunk)
+    return lost, winner, bcast
 
 
 def apply_aggregation_elision(
@@ -99,9 +112,14 @@ def apply_aggregation_elision(
     ``indices`` is the ``(M, K)`` matrix from the neighbor search.  Each
     query's ``K`` neighbors are fetched in groups of ``num_ports``
     concurrent requests; within a group, a request that loses bank
-    arbitration receives the winner's point instead — replicating one of
-    the query's own neighbors, which is safe because all requests in a
-    group belong to the same query (Sec. 4.2).
+    arbitration to a *different* point id receives the winner's point
+    instead — replicating one of the query's own neighbors, which is safe
+    because all requests in a group belong to the same query (Sec. 4.2).
+    A loser requesting the *same* point id as the winner is served by the
+    winner's broadcast read: it keeps its own neighbor, is ledgered in
+    ``SramStats.broadcasts`` (never ``conflicted``/``elided``), and costs
+    no extra read energy — ``ball_query``'s repeat-first-neighbor padding
+    makes such duplicates routine on short rows.
 
     Returns the *effective* index matrix the MLP actually consumes.
     """
@@ -115,18 +133,70 @@ def apply_aggregation_elision(
     for start in range(0, k, num_ports):
         chunk = out[:, start : start + num_ports]
         banks = banking.bank_of_point(chunk)
-        lost, winner = _first_occurrence_winner(banks)
+        lost, winner, bcast = _first_occurrence_winner(chunk, banks)
         rows = np.arange(m)[:, None]
         replaced = chunk[rows, winner]
+        # Replacing a broadcast port is a no-op (winner's id == its own),
+        # so one where() covers both service outcomes.
         out[:, start : start + num_ports] = np.where(lost, replaced, chunk)
         if stats is not None:
+            elided = int(lost.sum()) - int(bcast.sum())
             stats.accesses += chunk.size
-            stats.conflicted += int(lost.sum())
-            stats.elided += int(lost.sum())
+            stats.conflicted += elided
+            stats.elided += elided
+            stats.broadcasts += int(bcast.sum())
             # One read per winning request; losers reuse the winner's data.
             stats.reads_served += chunk.size - int(lost.sum())
             stats.cycles += m  # one cycle per group of concurrent requests
     return out
+
+
+def point_buffer_stall_stats(
+    indices: np.ndarray,
+    banking: PointBufferBanking,
+    num_ports: int = 16,
+    stats: Optional[SramStats] = None,
+) -> int:
+    """Account a stall-and-retry (baseline, no elision) aggregation pass.
+
+    A group of ``num_ports`` concurrent requests serializes to the worst
+    per-bank count of *distinct* point ids: each distinct id is read once
+    (its duplicates are broadcast-served off that read, whichever retry
+    cycle it lands on — the retry model's counterpart of the elide path's
+    winner-only broadcast), and every distinct id after a bank's first is
+    a stalled retry.  Returns the total cycles and accumulates the ledger
+    into ``stats``; the index matrix itself is untouched — stalling
+    changes timing, never data.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 2:
+        raise ValueError("indices must be (M, K)")
+    if num_ports <= 0:
+        raise ValueError("num_ports must be positive")
+    m, k = indices.shape
+    nb = banking.num_banks
+    cycles = 0
+    for start in range(0, k, num_ports):
+        chunk = indices[:, start : start + num_ports]
+        if chunk.size == 0:
+            continue
+        lo = int(chunk.min())
+        span = int(chunk.max()) - lo + 1
+        keys = np.arange(m, dtype=np.int64)[:, None] * span + (chunk - lo)
+        uniq = np.unique(keys)  # distinct (row, id) pairs
+        uniq_banks = banking.bank_of_point(uniq % span + lo)
+        per_bank = np.bincount(
+            (uniq // span) * nb + uniq_banks, minlength=m * nb
+        ).reshape(m, nb)  # (M, nb): distinct ids per bank per group
+        group_cycles = int(per_bank.max(axis=1).sum())
+        cycles += group_cycles
+        if stats is not None:
+            stats.accesses += chunk.size
+            stats.reads_served += len(uniq)  # energy-bearing reads only
+            stats.broadcasts += chunk.size - len(uniq)
+            stats.conflicted += len(uniq) - int((per_bank > 0).sum())
+            stats.cycles += group_cycles
+    return cycles
 
 
 def aggregation_conflict_rate(
@@ -137,9 +207,14 @@ def aggregation_conflict_rate(
     """Fraction of aggregation SRAM accesses that are bank-conflicted.
 
     This is the paper's Fig. 5 metric (measured there at 38–57% with 16
-    banks and 16 concurrent requests).  No elision is applied — it measures
-    the baseline conflict pressure.
+    banks and 16 concurrent requests).  No elision is applied — the rate
+    comes from :func:`point_buffer_stall_stats`, the same ledger the
+    baseline stall-mode :class:`~repro.accel.AggregationUnit` keeps, so
+    the reported pressure is exactly what baseline hardware serializes.
+    Same-address requests are served by broadcast, not serialization, so
+    an all-duplicate row (a fully padded short row) reports a conflict
+    rate of exactly 0.
     """
     stats = SramStats()
-    apply_aggregation_elision(indices, banking, num_ports, stats=stats)
+    point_buffer_stall_stats(indices, banking, num_ports, stats=stats)
     return stats.conflict_rate

@@ -52,12 +52,18 @@ class BankedSramConfig:
 class SramStats:
     """Accumulated activity of one banked buffer.
 
-    ``conflicted`` counts every access that lost bank arbitration; the
-    disjoint ``broadcasts`` and ``elided`` counters record how losers were
-    resolved (served by the winner's same-address read vs dropped).  A
-    conflicted access that is neither broadcast nor elided stalled and
-    retried.  ``reads_served`` stays "actual bank reads" — energy-bearing
-    fetches only, so broadcast-served ports do not inflate it.
+    ``conflicted`` counts accesses that lost bank arbitration.  The tree
+    buffer counts every loser — including same-address losers, which its
+    ``broadcasts``/``elided`` counters then classify — so there
+    ``conflicted == broadcasts + elided + stalled_retries``.  The point
+    buffer's wide-word layout detects same-address requests before
+    arbitration: broadcast-served ports never conflict at all, leaving
+    ``conflicted == elided + stalled_retries`` with ``broadcasts``
+    disjoint — which is what lets the Fig. 5 conflict rate ignore
+    ``ball_query``'s repeat-first-neighbor padding.  In every discipline
+    ``reads_served`` stays "actual bank reads" — energy-bearing fetches
+    only, so broadcast-served ports do not inflate it (or the SRAM energy
+    derived from it).
     """
 
     accesses: int = 0

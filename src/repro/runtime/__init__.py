@@ -10,12 +10,20 @@ Four pieces, composable but independently usable:
   decisions per cycle as array ops, cycle- and stat-identical to the
   per-step reference (:func:`repro.core.approx_search.run_subtree_lockstep`),
   which the lockstep equivalence suite enforces.
+- :func:`vectorized_top_phase` — the engine's phase-1 top-tree descent
+  with **all** PE groups advancing level-synchronously as stacked arrays;
+  cycle- and stall-identical to the per-group loop (kept as
+  :func:`reference_top_phase`), which the equivalence suite enforces.
 - :class:`SearchSession` — owns K-d tree / split-tree construction and
   result memoization behind geometry-digested LRU caches (no stale hits
   when a caller reuses a cache key with mutated points; sentinel-based
   misses so cached falsy values are never recomputed).
 - :class:`SweepRunner` — fans parameter sweeps across ``multiprocessing``
   workers with deterministic, order-preserving results.
+- :mod:`~repro.runtime.network` — the network-level grid runtime behind
+  ``PointCloudAccelerator.run_many``: per-cloud sampling plans shared
+  across settings, and per-worker-process sessions so fan-out jobs stop
+  rebuilding trees and split-tree layouts.
 
 The step-machines in :mod:`repro.kdtree.traversal` remain the behavioral
 reference for hardware statistics; this package accelerates both the
@@ -32,9 +40,14 @@ from .session import (
     geometry_digest,
     tree_digest,
 )
+from .network import layer_sampling_plan, run_network_grid, worker_session
 from .sweep import SweepRunner
+from .topphase import reference_top_phase, vectorized_top_phase
 
 __all__ = [
+    "layer_sampling_plan",
+    "run_network_grid",
+    "worker_session",
     "BatchedBallQuery",
     "batched_ball_query",
     "LockstepResult",
@@ -45,4 +58,6 @@ __all__ = [
     "geometry_digest",
     "tree_digest",
     "SweepRunner",
+    "reference_top_phase",
+    "vectorized_top_phase",
 ]

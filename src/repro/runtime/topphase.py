@@ -1,0 +1,166 @@
+"""Vectorized level-synchronous top-tree phase (paper Sec. 3.2, phase 1).
+
+:meth:`repro.accel.NeighborSearchEngine._top_phase` models the cycle and
+stall cost of streaming query groups through the top tree: groups of
+``num_pes`` queries descend level-synchronously, same-node fetches are
+broadcast (one bank read serves all ports), and distinct nodes landing in
+one bank serialize — charging one stall per PE waiting behind a losing
+node.  The original implementation looped over groups in Python, one
+``np.unique`` round per group per level; on a network-layer batch that
+loop was the last per-step hot path left after PR 1 (batched queries) and
+PR 2 (vectorized lockstep).
+
+:func:`vectorized_top_phase` advances **all** PE groups together: each
+level processes every group's live lanes as one stacked array pass —
+per-group distinct-node detection through a composite ``(group, node)``
+key, per-``(group, bank)`` occupancy via one ``np.bincount``, stall
+attribution via one stable sort — and every group's early exit (all
+queries parked) falls out as an empty key set contributing zero cycles.
+The accounting contract is pinned cycle- and stall-identical to the
+per-group loop (kept as :func:`reference_top_phase`) by the randomized
+equivalence suite in ``tests/test_aggregation_broadcast.py``.
+
+Both implementations carry the PR 3 accounting fixes:
+
+* the unreachable ``else 1`` level-cycle branch is gone (a level with
+  live lanes always fetches at least one node);
+* the ``fill_cycles`` pipeline fill/drain is charged per *fetching*
+  group, as a stated contract.  With the current descent this is
+  defensive — every non-empty group fetches the root at level 0, so no
+  reachable input changes value — but it pins the accounting rule the
+  engine relies on instead of an unconditional per-group charge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import would be circular
+    from ..core.split_tree import SplitTree
+
+__all__ = ["vectorized_top_phase", "reference_top_phase"]
+
+
+def vectorized_top_phase(
+    split: "SplitTree",
+    queries: np.ndarray,
+    num_pes: int,
+    banking,
+    fill_cycles: int = 0,
+) -> Tuple[int, int]:
+    """Cycles and stalls of the top-tree descent, all groups at once.
+
+    ``banking`` is duck-typed to
+    :class:`~repro.core.bank_conflict.TreeBufferBanking`
+    (``bank_of_slot`` + ``num_banks``); ``fill_cycles`` is the per-group
+    pipeline fill/drain charge (the engine passes ``PIPELINE_DEPTH - 1``).
+    Returns ``(total_cycles, total_stalls)``.
+    """
+    # Imported here: repro.core.pipeline imports this package at load
+    # time, so a module-level import of repro.core would be circular.
+    from ..core.split_tree import descend_step
+
+    if num_pes <= 0:
+        raise ValueError("num_pes must be positive")
+    tree = split.tree
+    top_height = split.top_height
+    if top_height == 0:
+        return 0, 0
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    m = len(queries)
+    if m == 0:
+        return 0, 0
+    ngroups = -(-m // num_pes)
+    group_of = np.repeat(np.arange(ngroups, dtype=np.int64), num_pes)[:m]
+    top_nodes = split.top_nodes  # ascending ids == buffer layout order
+    num_banks = banking.num_banks
+    span = tree.num_nodes  # (group, node) composite-key stride
+    current = np.full(m, tree.root, dtype=np.int64)
+    alive = np.ones(m, dtype=bool)
+    fetched = np.zeros(ngroups, dtype=bool)
+    total_cycles = 0
+    total_stalls = 0
+    for _ in range(top_height):
+        act = np.nonzero(alive)[0]
+        if len(act) == 0:
+            break
+        agroup = group_of[act]
+        fetched[agroup] = True
+        # Same node within a group ⇒ broadcast (one composite key); same
+        # bank, different node ⇒ serialize.  np.unique returns keys
+        # ascending, i.e. per group the node-ascending service order the
+        # streamed top-tree buffer uses.
+        keys, pe_counts = np.unique(agroup * span + current[act], return_counts=True)
+        slots = np.searchsorted(top_nodes, keys % span)
+        banks = np.asarray(banking.bank_of_slot(slots), dtype=np.int64)
+        gb = (keys // span) * num_banks + banks
+        occupancy = np.bincount(gb, minlength=ngroups * num_banks)
+        total_cycles += int(occupancy.reshape(ngroups, num_banks).max(axis=1).sum())
+        # One stall per losing PE: within a (group, bank) segment every
+        # node after the first-served keeps its PEs waiting.  The stable
+        # sort preserves the node-ascending order within segments.
+        order = np.argsort(gb, kind="stable")
+        sorted_gb = gb[order]
+        first_in_bank = np.ones(len(order), dtype=bool)
+        first_in_bank[1:] = sorted_gb[1:] != sorted_gb[:-1]
+        total_stalls += int(pe_counts[order][~first_in_bank].sum())
+        nxt, parked = descend_step(tree, queries[act], current[act])
+        if parked.any():
+            alive[act[parked]] = False
+        current[act[~parked]] = nxt[~parked]
+    total_cycles += int(fetched.sum()) * fill_cycles
+    return total_cycles, total_stalls
+
+
+def reference_top_phase(
+    split: "SplitTree",
+    queries: np.ndarray,
+    num_pes: int,
+    banking,
+    fill_cycles: int = 0,
+) -> Tuple[int, int]:
+    """The per-group Python loop :func:`vectorized_top_phase` replaces.
+
+    Kept as the behavioral reference for the randomized equivalence
+    suite; same signature, same ``(cycles, stalls)`` contract.
+    """
+    from ..core.split_tree import descend_step
+
+    if num_pes <= 0:
+        raise ValueError("num_pes must be positive")
+    tree = split.tree
+    top_height = split.top_height
+    if top_height == 0:
+        return 0, 0
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    total_cycles = 0
+    total_stalls = 0
+    for start in range(0, len(queries), num_pes):
+        group = queries[start : start + num_pes]
+        current = np.full(len(group), tree.root, dtype=np.int64)
+        alive = np.ones(len(group), dtype=bool)
+        issued_fetch = False
+        for _ in range(top_height):
+            fetching = np.nonzero(alive)[0]
+            if len(fetching) == 0:
+                break
+            issued_fetch = True
+            uniq_nodes, pe_counts = np.unique(current[fetching], return_counts=True)
+            slots = np.searchsorted(split.top_nodes, uniq_nodes)
+            banks = np.asarray(banking.bank_of_slot(slots), dtype=np.int64)
+            occupancy = np.bincount(banks, minlength=banking.num_banks)
+            total_cycles += int(occupancy.max())
+            order = np.argsort(banks, kind="stable")
+            first_in_bank = np.ones(len(order), dtype=bool)
+            sorted_banks = banks[order]
+            first_in_bank[1:] = sorted_banks[1:] != sorted_banks[:-1]
+            total_stalls += int(pe_counts[order][~first_in_bank].sum())
+            nxt, parked = descend_step(tree, group[fetching], current[fetching])
+            if parked.any():
+                alive[fetching[parked]] = False
+            current[fetching[~parked]] = nxt[~parked]
+        if issued_fetch:
+            total_cycles += fill_cycles
+    return total_cycles, total_stalls

@@ -77,10 +77,22 @@ class TestAggregationUnit:
             assert set(res.effective_indices[i]) <= set(indices[i])
 
     def test_stall_counts_conflicts(self):
-        indices = np.full((10, 16), 3)  # all same bank
-        res = AggregationUnit().run(indices, num_points=100, elide=False)
+        # Same bank, distinct ids: 16 distinct addresses fully serialize.
+        indices = np.tile(np.arange(16) * 16, (10, 1))  # all bank 0
+        res = AggregationUnit().run(indices, num_points=300, elide=False)
         assert res.sram.conflicted == 10 * 15
         assert res.cycles == 10 * 16  # fully serialized
+        assert res.sram.reads_served == 10 * 16
+
+    def test_stall_broadcasts_duplicate_ids(self):
+        # Same *id* on every port: one broadcast read serves the group in
+        # a single cycle — no conflicts, no extra read energy.
+        indices = np.full((10, 16), 3)
+        res = AggregationUnit().run(indices, num_points=100, elide=False)
+        assert res.sram.conflicted == 0
+        assert res.sram.broadcasts == 10 * 15
+        assert res.sram.reads_served == 10
+        assert res.cycles == 10
 
     def test_rejects_bad_shape(self):
         with pytest.raises(ValueError):

@@ -69,6 +69,22 @@ class TestAggregationElision:
         assert stats.accesses == 4
         assert stats.conflicted == 3
         assert stats.elided == 3
+        assert stats.broadcasts == 0  # distinct addresses: nothing broadcast
+        assert stats.reads_served == 1
+
+    def test_duplicate_ids_broadcast_not_elide(self):
+        # Ports 1 and 3 repeat the winner's id (ball_query-style padding):
+        # they are served by the winner's broadcast read, keep their own
+        # neighbor, and never enter the conflicted/elided ledgers.
+        banking = PointBufferBanking(num_banks=4)
+        stats = SramStats()
+        out = apply_aggregation_elision(
+            np.array([[5, 5, 9, 5]]), banking, 4, stats=stats
+        )
+        assert out.tolist() == [[5, 5, 5, 5]]  # 9 elided, 5s broadcast
+        assert stats.broadcasts == 2
+        assert stats.conflicted == 1
+        assert stats.elided == 1
         assert stats.reads_served == 1
 
     def test_validation(self):
@@ -104,7 +120,9 @@ class TestConflictRate:
         rate = aggregation_conflict_rate(indices, PointBufferBanking(16), 16)
         assert 0.30 < rate < 0.65
 
-    def test_identical_ids_fully_conflict(self):
+    def test_identical_ids_broadcast_conflict_free(self):
+        # An all-duplicate row (a fully padded short row) is one read
+        # broadcast to every port: zero conflicts, not 15/16.
         indices = np.full((10, 16), 7)
         rate = aggregation_conflict_rate(indices, PointBufferBanking(16), 16)
-        assert rate == pytest.approx(15 / 16)
+        assert rate == 0.0

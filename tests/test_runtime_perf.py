@@ -1,9 +1,10 @@
 """Micro-benchmarks: the vectorized engines must beat their Python loops.
 
-Acceptance floors from the runtime issues, both on a 4096-point cloud:
-≥3× for the batched exact query vs the per-query searcher, and ≥5× for
-the vectorized lockstep engine vs the per-step ``run_subtree_lockstep``
-reference (measured margins are typically well above both, so the
+Acceptance floors from the runtime issues, all on a 4096-point cloud:
+≥3× for the batched exact query vs the per-query searcher, ≥5× for the
+vectorized lockstep engine vs the per-step ``run_subtree_lockstep``
+reference, and ≥5× for the vectorized top phase vs the per-group descent
+loop (measured margins are typically well above all three, so the
 assertions have real headroom against noisy machines).  Marked ``slow``:
 the Python reference loops themselves are the expensive part.
 """
@@ -14,9 +15,15 @@ import numpy as np
 import pytest
 
 from repro.core import TreeBufferBanking
+from repro.core.split_tree import SplitTree
 from repro.kdtree import ball_query, build_kdtree
 from repro.memsim import SramStats
-from repro.runtime import BatchedBallQuery, VectorizedLockstep
+from repro.runtime import (
+    BatchedBallQuery,
+    VectorizedLockstep,
+    reference_top_phase,
+    vectorized_top_phase,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -37,6 +44,7 @@ LOCKSTEP_ELISION = 10
 LOCKSTEP_PES = 8
 LOCKSTEP_BANKS = 8
 LOCKSTEP_MIN_SPEEDUP = 5.0
+TOPPHASE_MIN_SPEEDUP = 5.0
 
 
 def _best_of(repeats, fn):
@@ -118,4 +126,26 @@ def test_vectorized_lockstep_beats_reference_loop_on_4k_cloud(
     assert speedup >= LOCKSTEP_MIN_SPEEDUP, (
         f"vectorized lockstep only {speedup:.2f}x faster "
         f"({ref_time:.3f}s reference vs {vec_time:.3f}s vectorized)"
+    )
+
+
+def test_vectorized_top_phase_beats_group_loop_on_4k_cloud(rng):
+    pts = rng.normal(size=(N_POINTS, 3))
+    queries = pts[rng.permutation(N_POINTS)]
+    split = SplitTree(build_kdtree(pts), LOCKSTEP_TOP_HEIGHT)
+    banking = TreeBufferBanking(LOCKSTEP_BANKS)
+
+    vectorized_top_phase(split, queries, LOCKSTEP_PES, banking, 4)  # warm-up
+    ref_time, ref = _best_of(
+        1, lambda: reference_top_phase(split, queries, LOCKSTEP_PES, banking, 4)
+    )
+    vec_time, vec = _best_of(
+        3, lambda: vectorized_top_phase(split, queries, LOCKSTEP_PES, banking, 4)
+    )
+
+    assert vec == ref  # (cycles, stalls) identical
+    speedup = ref_time / vec_time
+    assert speedup >= TOPPHASE_MIN_SPEEDUP, (
+        f"vectorized top phase only {speedup:.2f}x faster "
+        f"({ref_time:.3f}s loop vs {vec_time:.3f}s vectorized)"
     )
