@@ -1,0 +1,75 @@
+"""Benchmark-lane guard for the trace-capable batched exact search.
+
+The Sec. 2 motivation drivers (``layer_search_traces`` and, through it,
+the Fig. 2/3 benches) lean on :class:`repro.runtime.TracedBallQuery` for
+every visit trace, so a regression that silently sends trace collection
+back to the per-query Python loop would slow the whole suite without
+failing anything.  This bench runs in the CI smoke lane (it is *not*
+marked slow): a down-scaled trace workload, a trace/stats identity check
+against the per-query reference, and a conservative speed floor — well
+under the ≥5x the full-size ``tests/test_runtime_perf.py`` bench
+demonstrates, so shared-runner noise cannot flake it, but far above any
+Python-loop fallback (which measures at ~1x here by construction).
+"""
+
+import time
+
+import numpy as np
+
+from repro.kdtree import build_kdtree
+from repro.kdtree.exact import radius_search
+from repro.kdtree.stats import TraversalStats
+from repro.runtime import TracedBallQuery
+
+N_POINTS = 1024
+N_QUERIES = 256
+RADIUS = 0.25
+MAX_NEIGHBORS = 16
+MIN_SPEEDUP = 1.8
+
+
+def test_traced_engine_does_not_regress():
+    rng = np.random.default_rng(20260730)
+    pts = rng.normal(size=(N_POINTS, 3))
+    queries = pts[rng.permutation(N_POINTS)[:N_QUERIES]]
+    tree = build_kdtree(pts)
+    engine = TracedBallQuery(tree)
+    engine.query(queries[:8], RADIUS, MAX_NEIGHBORS)  # warm-up
+
+    def reference():
+        out = []
+        for q in queries:
+            stats = TraversalStats()
+            radius_search(
+                tree, q, RADIUS, max_neighbors=MAX_NEIGHBORS,
+                stats=stats, record_trace=True,
+            )
+            out.append(stats)
+        return out
+
+    t0 = time.perf_counter()
+    ref = reference()
+    ref_time = time.perf_counter() - t0
+    traced_time = float("inf")
+    result = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        result = engine.query(queries, RADIUS, MAX_NEIGHBORS)
+        traced_time = min(traced_time, time.perf_counter() - t0)
+
+    # Identity: traces and the counters the figure pipelines consume.
+    assert [t.tolist() for t in result.traces] == [s.visit_trace for s in ref]
+    np.testing.assert_array_equal(
+        result.visited, [s.nodes_visited for s in ref]
+    )
+    np.testing.assert_array_equal(
+        result.pushes, [s.stack_pushes for s in ref]
+    )
+    np.testing.assert_array_equal(
+        result.pruned, [s.nodes_pruned for s in ref]
+    )
+    speedup = ref_time / traced_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"traced engine only {speedup:.2f}x faster "
+        f"({ref_time:.3f}s reference vs {traced_time:.3f}s traced)"
+    )

@@ -17,11 +17,11 @@ from ..accel.workloads import evaluation_networks, workload_points
 from ..core.bank_conflict import PointBufferBanking, aggregation_conflict_rate
 from ..core.bank_conflict import TreeBufferBanking
 from ..kdtree.build import NODE_BYTES, build_kdtree
-from ..kdtree.exact import ball_query, radius_search
-from ..kdtree.stats import TraversalStats
 from ..memsim.cache import FullyAssociativeCache
 from ..memsim.sram import SramStats
+from ..runtime.batched import BatchedBallQuery
 from ..runtime.lockstep import VectorizedLockstep
+from ..runtime.traced import TracedBallQuery
 from ..memsim.trace import fraction_noncontiguous, interleave_round_robin
 from .reporting import format_table
 
@@ -49,14 +49,23 @@ def _network_layer_queries(spec_name: str, seed: int = 0):
 def layer_search_traces(
     spec_name: str, max_queries_per_layer: int = 128, seed: int = 0
 ) -> List[List[int]]:
-    """Per-query DRAM byte-address traces of exact neighbor search."""
+    """Per-query DRAM byte-address traces of exact neighbor search.
+
+    Routed through the trace-capable batched engine
+    (:class:`~repro.runtime.TracedBallQuery`): each layer's queries sweep
+    the tree together as frontier arrays, and the per-query DFS visit
+    traces — identical to running ``radius_search(...,
+    record_trace=True)`` per query, which the traced equivalence suite
+    pins — are recovered by rank ordering.  Node ids become byte
+    addresses via the ``i * NODE_BYTES`` memory image layout.
+    """
     traces: List[List[int]] = []
     for points, queries, radius, k in _network_layer_queries(spec_name, seed):
         tree = build_kdtree(points)
-        for q in queries[:max_queries_per_layer]:
-            stats = TraversalStats()
-            radius_search(tree, q, radius, max_neighbors=k, stats=stats, record_trace=True)
-            traces.append([tree.node_address(n) for n in stats.visit_trace])
+        result = TracedBallQuery(tree).query(
+            queries[:max_queries_per_layer], radius, k
+        )
+        traces.extend((trace * NODE_BYTES).tolist() for trace in result.traces)
     return traces
 
 
@@ -97,7 +106,12 @@ def dram_traffic_study(
     merged = []
     for start in range(0, len(traces), num_parallel):
         merged.append(interleave_round_robin(traces[start : start + num_parallel]))
-    addresses = np.concatenate(merged)
+    addresses = np.concatenate(merged) if merged else np.empty(0, dtype=np.int64)
+    if addresses.size == 0:
+        # No traces (e.g. zero queries per layer): no traffic, no misses —
+        # mirror nonstreaming_fraction's guard instead of crashing on
+        # np.concatenate([]) / max() of an empty address stream.
+        return DramTrafficResult(traffic_ratio=0.0, miss_rate=0.0)
     image_bytes = int(addresses.max()) + NODE_BYTES
     cache = FullyAssociativeCache(
         capacity_bytes=max(int(image_bytes * cache_fraction), NODE_BYTES),
@@ -154,7 +168,9 @@ def aggregation_conflict_by_network(
         weights = []
         for points, queries, radius, k in _network_layer_queries(name, seed):
             tree = build_kdtree(points)
-            indices, _ = ball_query(tree, queries, radius, k)
+            # Batched engine: bit-identical indices (parity-suite-pinned),
+            # no per-query Python loop — Fig. 5 needs no visit traces.
+            indices, _ = BatchedBallQuery(tree).query(queries, radius, k)
             rates.append(aggregation_conflict_rate(indices, banking, num_ports))
             weights.append(indices.size)
         out[name] = float(np.average(rates, weights=weights))

@@ -24,9 +24,13 @@ hazard the old ad-hoc dict cache had).
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Tuple
+from typing import TYPE_CHECKING, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import would be circular
+    from ..runtime.epoch import MaterializeReport, MaterializeRequest
+    from ..runtime.sweep import SweepRunner
 
 from ..runtime.batched import BatchedBallQuery
 from ..runtime.session import SearchSession
@@ -151,7 +155,19 @@ class ApproximationPipeline:
 
         if cache_key is None:
             return compute()
-        key = (
+        key = self._site_key(setting, radius, max_neighbors, cache_key)
+        return self.session.memoize(key, (points, queries_arr), compute)
+
+    # ------------------------------------------------------------------
+    def _site_key(
+        self,
+        setting: ApproxSetting,
+        radius: float,
+        max_neighbors: int,
+        cache_key: Hashable,
+    ) -> Hashable:
+        """The geometry-free half of the memoization key for one call site."""
+        return (
             cache_key,
             setting.top_height,
             setting.elision_height,
@@ -163,4 +179,59 @@ class ApproximationPipeline:
             radius,
             max_neighbors,
         )
-        return self.session.memoize(key, (points, queries_arr), compute)
+
+    def memo_key(
+        self,
+        points: np.ndarray,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+        setting: ApproxSetting,
+        cache_key: Hashable,
+        digest: Optional[str] = None,
+    ) -> Hashable:
+        """The full session-cache key a :meth:`query_with_counts` call uses.
+
+        Batch materializers (:func:`repro.runtime.epoch.materialize_requests`)
+        dedupe scheduled work with this and file worker-computed results
+        under it, so the later forward-pass lookup is a guaranteed hit.
+        ``digest`` short-circuits the geometry hashing when the caller has
+        already digested this ``(points, queries)`` pair (a settings grid
+        reuses each pair once per setting).
+        """
+        site = self._site_key(setting, radius, max_neighbors, cache_key)
+        if digest is None:
+            points = np.asarray(points, dtype=np.float64)
+            queries_arr = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+            return self.session.memo_key(site, (points, queries_arr))
+        return self.session.memo_key(site, digest=digest)
+
+    def picklable_config(self) -> tuple:
+        """The constructor arguments a worker process needs to rebuild an
+        equivalent pipeline (everything except the session, which workers
+        supply themselves)."""
+        return (
+            self.tree_banking,
+            self.point_banking,
+            self.num_pes,
+            self.agg_ports,
+            self.elide_aggregation,
+        )
+
+    def materialize(
+        self,
+        requests: Sequence["MaterializeRequest"],
+        runner: Optional["SweepRunner"] = None,
+    ) -> "MaterializeReport":
+        """Batch-materialize neighbor matrices into the session cache.
+
+        The epoch-batched counterpart of :meth:`query_with_counts`: dedupe
+        the scheduled requests, skip what the session already holds, and
+        compute the rest — in process, or fanned across a
+        :class:`~repro.runtime.SweepRunner` process pool grouped so each
+        job builds each K-d tree once.  See
+        :func:`repro.runtime.epoch.materialize_requests`.
+        """
+        from ..runtime.epoch import materialize_requests
+
+        return materialize_requests(self, requests, runner=runner)

@@ -66,6 +66,16 @@ class DensePointClassifier(Module):
         # batch_norm off: single pooled row per cloud (see pointnetpp.py).
         self.head = MLP([in_features, 64, num_classes], rng, batch_norm=False, final_activation=False)
 
+    def query_plan(self, points: np.ndarray, cache_key: Optional[int] = None):
+        """The neighbor queries one forward pass will issue, stage order."""
+        from .pointnetpp import _chain_query_plan
+
+        return _chain_query_plan(
+            [(f"stage{i}", stage) for i, stage in enumerate(self.stages)],
+            points,
+            cache_key,
+        )
+
     def forward(
         self,
         points: np.ndarray,

@@ -110,6 +110,15 @@ class FrustumPointNet(Module):
         # batch_norm off: single pooled row per frustum.
         self.box_head = MLP([64, 64, 8], rng, batch_norm=False, final_activation=False)
 
+    def query_plan(self, frustum_points: np.ndarray, cache_key: Optional[int] = None):
+        """The neighbor queries one forward pass will issue (on the
+        centroid-normalized frustum, matching :meth:`forward`)."""
+        from .pointnetpp import _chain_query_plan
+
+        pts = np.asarray(frustum_points, dtype=np.float64)
+        local = pts - pts.mean(axis=0)
+        return _chain_query_plan([("sa1", self.sa1), ("sa2", self.sa2)], local, cache_key)
+
     def forward(
         self,
         frustum_points: np.ndarray,

@@ -29,6 +29,7 @@ from ..kdtree.brute import brute_knn_search
 from ..nn.layers import MLP
 from ..nn.module import Module
 from ..nn.tensor import Tensor
+from ..runtime.epoch import QueryRequest
 
 __all__ = ["farthest_point_sampling", "SetAbstraction", "FeaturePropagation", "GlobalMaxPool"]
 
@@ -98,6 +99,33 @@ class SetAbstraction(Module):
         self.mlp = MLP([3 + in_features, *mlp_widths], rng, batch_norm=False)
         self.out_features = mlp_widths[-1]
 
+    def query_plan(
+        self, points: np.ndarray, cache_key: Optional[tuple] = None
+    ) -> Tuple[Optional[QueryRequest], np.ndarray]:
+        """The neighbor query this layer's forward pass will issue.
+
+        Returns ``(request, centroids)``; ``request`` is ``None`` for the
+        group-all stage, which never touches the pipeline.  Centroid
+        sampling is deterministic (FPS), so the plan depends only on
+        geometry — :meth:`forward` issues *this* request (it calls this
+        method), which is what guarantees epoch-batched materialization
+        (:mod:`repro.runtime.epoch`) warms exactly the entries the
+        training forward pass will look up.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if self.num_centroids is None:
+            return None, points.mean(axis=0, keepdims=True)
+        fps = farthest_point_sampling(points, self.num_centroids)
+        centroids = points[fps]
+        request = QueryRequest(
+            points=points,
+            queries=centroids,
+            radius=self.radius,
+            max_neighbors=self.max_neighbors,
+            cache_key=cache_key,
+        )
+        return request, centroids
+
     def forward(
         self,
         points: np.ndarray,
@@ -107,21 +135,19 @@ class SetAbstraction(Module):
     ) -> Tuple[np.ndarray, Tensor]:
         """Returns ``(centroid_points, centroid_features)``."""
         points = np.asarray(points, dtype=np.float64)
-        if self.num_centroids is None:
-            centroids = points.mean(axis=0, keepdims=True)
+        request, centroids = self.query_plan(points, cache_key)
+        if request is None:
             k = len(points)
             indices = np.arange(k, dtype=np.int64)[None, :]
         else:
-            fps = farthest_point_sampling(points, self.num_centroids)
-            centroids = points[fps]
             k = self.max_neighbors
             indices = self.pipeline.query(
-                points,
-                centroids,
-                self.radius,
-                self.max_neighbors,
+                request.points,
+                request.queries,
+                request.radius,
+                request.max_neighbors,
                 setting,
-                cache_key=cache_key,
+                cache_key=request.cache_key,
             )
         m = len(centroids)
         # Relative coordinates of each gathered neighbor (constants in the

@@ -13,7 +13,7 @@ how both inference-time approximation and approximation-aware training
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,7 +22,26 @@ from ..core.pipeline import ApproximationPipeline
 from ..nn.layers import MLP, Dropout
 from ..nn.module import Module
 from ..nn.tensor import Tensor
+from ..runtime.epoch import QueryRequest
 from .layers import FeaturePropagation, GlobalMaxPool, SetAbstraction
+
+
+def _chain_query_plan(
+    stages: Sequence[Tuple[str, SetAbstraction]],
+    points: np.ndarray,
+    cache_key: Optional[int],
+) -> List[QueryRequest]:
+    """Thread ``points`` through a chain of SA stages, collecting each
+    stage's :class:`QueryRequest` under the cache key its forward pass
+    will use (``(cache_key, stage_name)``, or ``None`` when uncached)."""
+    requests: List[QueryRequest] = []
+    current = np.asarray(points, dtype=np.float64)
+    for name, stage in stages:
+        key = (cache_key, name) if cache_key is not None else None
+        request, current = stage.query_plan(current, key)
+        if request is not None:
+            requests.append(request)
+    return requests
 
 __all__ = ["PointNetPPClassifier", "PointNetPPSegmenter"]
 
@@ -60,6 +79,15 @@ class PointNetPPClassifier(Module):
         # batch_norm off: the head sees a single pooled row per cloud, and
         # normalizing a batch of one zeroes it.
         self.head = MLP([128, 64, num_classes], rng, batch_norm=False, final_activation=False)
+
+    def query_plan(
+        self, points: np.ndarray, cache_key: Optional[int] = None
+    ) -> List[QueryRequest]:
+        """The neighbor queries one forward pass will issue (sa3 is
+        group-all and never queries the pipeline)."""
+        return _chain_query_plan(
+            [("sa1", self.sa1), ("sa2", self.sa2)], points, cache_key
+        )
 
     def forward(
         self,
@@ -103,6 +131,15 @@ class PointNetPPSegmenter(Module):
         self.fp2 = FeaturePropagation(64, 32, (64,), rng)  # coarse→sa1 level
         self.fp1 = FeaturePropagation(64, 0, (32,), rng)  # sa1→input level
         self.head = MLP([32, 32, num_classes], rng, batch_norm=False, final_activation=False)
+
+    def query_plan(
+        self, points: np.ndarray, cache_key: Optional[int] = None
+    ) -> List[QueryRequest]:
+        """The neighbor queries one forward pass will issue (the FP
+        decoder interpolates with brute-force 3-NN, not the pipeline)."""
+        return _chain_query_plan(
+            [("sa1", self.sa1), ("sa2", self.sa2)], points, cache_key
+        )
 
     def forward(
         self,

@@ -5,6 +5,17 @@ Four pieces, composable but independently usable:
 - :class:`BatchedBallQuery` — all M queries of a layer advance together as
   NumPy frontier arrays; bit-identical to the per-query reference searcher
   (:func:`repro.kdtree.exact.ball_query`), which the parity suite enforces.
+- :class:`TracedBallQuery` — the trace-capable variant: the same batched
+  frontier sweep, plus per-query DFS visit traces and reconstructed
+  :class:`~repro.kdtree.stats.TraversalStats`, visit-trace- and
+  stats-identical to ``radius_search(..., record_trace=True)`` (pinned by
+  the traced equivalence suite); what the Sec. 2 motivation studies run.
+- :mod:`~repro.runtime.epoch` — epoch-batched training materialization:
+  the whole ``(sample, setting)`` schedule drawn up front
+  (RNG-stream-compatible), neighbor matrices deduped, grouped by
+  ``(cloud, setting)``, and materialized through one shared session —
+  optionally fanned across a process pool — before the gradient loop runs
+  against a warm cache.
 - :class:`VectorizedLockstep` — the accelerator model's lockstep sub-tree
   search as NumPy stack arrays: arbitration, broadcast, elision, and stall
   decisions per cycle as array ops, cycle- and stat-identical to the
@@ -32,7 +43,16 @@ simulation the figure benchmarks run.
 """
 
 from .batched import BatchedBallQuery, batched_ball_query
+from .epoch import (
+    EpochPlan,
+    EpochSchedule,
+    MaterializeReport,
+    MaterializeRequest,
+    QueryRequest,
+    materialize_requests,
+)
 from .lockstep import LockstepResult, VectorizedLockstep
+from .traced import TracedBallQuery, TracedBatchResult, traced_ball_query
 from .session import (
     CacheStats,
     LruCache,
@@ -50,6 +70,15 @@ __all__ = [
     "worker_session",
     "BatchedBallQuery",
     "batched_ball_query",
+    "TracedBallQuery",
+    "TracedBatchResult",
+    "traced_ball_query",
+    "EpochPlan",
+    "EpochSchedule",
+    "MaterializeReport",
+    "MaterializeRequest",
+    "QueryRequest",
+    "materialize_requests",
     "LockstepResult",
     "VectorizedLockstep",
     "CacheStats",

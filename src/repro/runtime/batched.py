@@ -38,14 +38,14 @@ callers who need hardware-faithful accounting use the reference searchers.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Iterator, NamedTuple, Tuple
 
 import numpy as np
 
 from ..kdtree.build import KdTree
 from ..kdtree.exact import ball_query, knn_search
 
-__all__ = ["BatchedBallQuery", "batched_ball_query"]
+__all__ = ["BatchedBallQuery", "FrontierLevel", "batched_ball_query", "frontier_sweep"]
 
 # Depth limit above which DFS ranks no longer fit a float64 mantissa.
 # Balanced construction keeps height = ceil(log2(n + 1)), so hitting this
@@ -58,6 +58,88 @@ _MAX_RANK_DEPTH = 52
 # this many buffered hits the engine hands the batch to the per-query
 # reference searcher — bit-identical by definition, and O(K) per query.
 _MAX_BUFFERED_HITS = 8_000_000
+
+
+class FrontierLevel(NamedTuple):
+    """One level of the batched frontier sweep (see :func:`frontier_sweep`).
+
+    All arrays are parallel over the live ``(query, node)`` pairs at this
+    depth.  ``far`` and ``within_radius`` let consumers reconstruct the
+    bounding-plane prune (``far >= 0`` and not ``within_radius``); the
+    children actually descended are ``take_near``/``take_far``.
+    """
+
+    depth: int
+    query_ids: np.ndarray  # query index per frontier row
+    rank: np.ndarray  # accumulated DFS path bits as a binary fraction
+    nodes: np.ndarray  # node id per row
+    point_ids: np.ndarray  # tree.point_id[nodes]
+    in_ball: np.ndarray  # distance test outcome
+    far: np.ndarray  # far-child node id (-1 when absent)
+    within_radius: np.ndarray  # |query[dim] - split| <= radius
+    take_near: np.ndarray  # near child exists (always descended)
+    take_far: np.ndarray  # far child exists and not pruned
+
+
+def frontier_sweep(
+    tree: KdTree, queries: np.ndarray, radius: float
+) -> Iterator[FrontierLevel]:
+    """Advance all queries together, one tree level per yield.
+
+    The single definition of the batched traversal semantics — near/far
+    selection (``diff <= 0`` ties go left, like the reference searcher),
+    the bounding-plane prune, and the DFS-rank advance — shared by the
+    result-only engine (:class:`BatchedBallQuery`) and the trace-capable
+    engine (:class:`~repro.runtime.traced.TracedBallQuery`), so a change
+    to the traversal rule cannot diverge the two.  Consumers may simply
+    stop iterating (e.g. a memory-guard fallback); the sweep holds no
+    state beyond its frontier arrays.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    m = len(queries)
+    r2 = radius * radius
+    # Frontier of live (query, node) pairs; ``rank`` accumulates the DFS
+    # path bits as a binary fraction, ``scale`` is the next bit's weight.
+    fq = np.arange(m, dtype=np.int64)
+    fnode = np.full(m, tree.root, dtype=np.int64)
+    frank = np.zeros(m, dtype=np.float64)
+    scale = 0.5
+    depth = 0
+    while len(fq):
+        pid = tree.point_id[fnode]
+        pts = tree.points[pid]
+        delta = queries[fq] - pts
+        d2 = np.einsum("ij,ij->i", delta, delta)
+        in_ball = d2 <= r2
+
+        dims = tree.split_dim[fnode]
+        rows = np.arange(len(fq))
+        diff = queries[fq, dims] - pts[rows, dims]
+        go_left = diff <= 0
+        near = np.where(go_left, tree.left[fnode], tree.right[fnode])
+        far = np.where(go_left, tree.right[fnode], tree.left[fnode])
+        within = np.abs(diff) <= radius
+        take_near = near >= 0
+        take_far = (far >= 0) & within
+
+        yield FrontierLevel(
+            depth=depth,
+            query_ids=fq,
+            rank=frank,
+            nodes=fnode,
+            point_ids=pid,
+            in_ball=in_ball,
+            far=far,
+            within_radius=within,
+            take_near=take_near,
+            take_far=take_far,
+        )
+
+        fq = np.concatenate([fq[take_near], fq[take_far]])
+        fnode = np.concatenate([near[take_near], far[take_far]])
+        frank = np.concatenate([frank[take_near], frank[take_far] + scale])
+        scale *= 0.5
+        depth += 1
 
 
 class BatchedBallQuery:
@@ -99,51 +181,24 @@ class BatchedBallQuery:
                 np.zeros(0, dtype=np.int64),
             )
         tree = self.tree
-        r2 = radius * radius
-
-        # Frontier of live (query, node) pairs, advanced one tree level per
-        # iteration.  ``rank`` accumulates the DFS path bits as a binary
-        # fraction; ``scale`` is the weight of the next bit.
-        fq = np.arange(m, dtype=np.int64)
-        fnode = np.full(m, tree.root, dtype=np.int64)
-        frank = np.zeros(m, dtype=np.float64)
-        scale = 0.5
 
         hit_q: list = []
         hit_rank: list = []
         hit_depth: list = []
         hit_pid: list = []
         total_hits = 0
-        depth = 0
-        while len(fq):
-            pid = tree.point_id[fnode]
-            pts = tree.points[pid]
-            delta = queries[fq] - pts
-            d2 = np.einsum("ij,ij->i", delta, delta)
-            in_ball = d2 <= r2
+        for level in frontier_sweep(tree, queries, radius):
+            in_ball = level.in_ball
             if in_ball.any():
-                hit_q.append(fq[in_ball])
-                hit_rank.append(frank[in_ball])
-                hit_depth.append(np.full(int(in_ball.sum()), depth, dtype=np.int64))
-                hit_pid.append(pid[in_ball])
+                hit_q.append(level.query_ids[in_ball])
+                hit_rank.append(level.rank[in_ball])
+                hit_depth.append(
+                    np.full(int(in_ball.sum()), level.depth, dtype=np.int64)
+                )
+                hit_pid.append(level.point_ids[in_ball])
                 total_hits += int(in_ball.sum())
                 if total_hits > _MAX_BUFFERED_HITS:
                     return ball_query(tree, queries, radius, max_neighbors)
-
-            dims = tree.split_dim[fnode]
-            rows = np.arange(len(fq))
-            diff = queries[fq, dims] - pts[rows, dims]
-            go_left = diff <= 0
-            near = np.where(go_left, tree.left[fnode], tree.right[fnode])
-            far = np.where(go_left, tree.right[fnode], tree.left[fnode])
-            take_near = near >= 0
-            take_far = (far >= 0) & (np.abs(diff) <= radius)
-
-            fq = np.concatenate([fq[take_near], fq[take_far]])
-            fnode = np.concatenate([near[take_near], far[take_far]])
-            frank = np.concatenate([frank[take_near], frank[take_far] + scale])
-            scale *= 0.5
-            depth += 1
 
         indices = np.zeros((m, k), dtype=np.int64)
         counts_all = np.zeros(m, dtype=np.int64)

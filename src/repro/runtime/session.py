@@ -213,6 +213,27 @@ class SearchSession:
             compute,
         )
 
+    @staticmethod
+    def memo_key(
+        key: Hashable,
+        geometry: Optional[Tuple[np.ndarray, ...]] = None,
+        digest: Optional[str] = None,
+    ) -> Hashable:
+        """The full result-cache key :meth:`memoize` files ``key`` under.
+
+        Exposed so batch materializers (:mod:`repro.runtime.epoch`) can
+        dedupe scheduled work and insert worker-computed results into
+        ``results`` under exactly the key a later :meth:`memoize` call
+        will look up.  Pass ``digest`` instead of ``geometry`` to reuse an
+        already-computed :func:`geometry_digest` (this is the single place
+        the key tuple is composed).
+        """
+        if digest is None:
+            if geometry is None:
+                raise ValueError("memo_key needs geometry or digest")
+            digest = geometry_digest(*geometry)
+        return (key, digest)
+
     def memoize(
         self,
         key: Hashable,
@@ -228,7 +249,7 @@ class SearchSession:
         ``None`` (or any falsy value) is cached like any other result
         instead of being recomputed on every call.
         """
-        full_key = (key, geometry_digest(*geometry))
+        full_key = self.memo_key(key, geometry)
         cached = self.results.get(full_key, _MISS)
         if cached is _MISS:
             cached = compute()

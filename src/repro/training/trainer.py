@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.config import ApproxSetting
+from ..runtime.epoch import EpochPlan, MaterializeRequest, QueryRequest
 from ..runtime.sweep import SweepRunner
 from ..geometry.datasets import (
     LidarDetectionDataset,
@@ -62,6 +63,11 @@ class _BaseTrainer:
         self.sampler = sampler
         self.optimizer = Adam(model.parameters(), lr=lr)
         self.rng = np.random.default_rng(seed)
+        # Set while evaluate_settings holds a freshly materialized grid:
+        # the per-setting evaluate() calls then skip re-planning (FPS,
+        # frustum crops, geometry digests) work that would only rediscover
+        # already-cached keys.
+        self._grid_is_warm = False
 
     def _loss(self, sample, setting: ApproxSetting, cache_key: int):
         raise NotImplementedError
@@ -69,17 +75,106 @@ class _BaseTrainer:
     def _dataset_items(self, dataset):
         return [(i, dataset[i]) for i in range(len(dataset))]
 
-    def train(self, dataset, epochs: int = 5) -> TrainReport:
-        """Run ``epochs`` passes; samples a fresh ``h`` per input."""
+    # -- epoch-batched materialization hooks ---------------------------
+    @property
+    def _pipeline(self):
+        return getattr(self.model, "pipeline", None)
+
+    def _model_points(self, idx: int, sample) -> Optional[np.ndarray]:
+        """The point array ``_loss`` will feed the model for this sample
+        (``None`` disables materialization for the sample)."""
+        return None
+
+    def _eval_points(self, i: int, sample) -> Optional[np.ndarray]:
+        """The point array ``evaluate`` will feed the model for item ``i``."""
+        return self._model_points(i, sample)
+
+    def _neighbor_requests(self, idx: int, sample) -> List[QueryRequest]:
+        """The neighbor queries training this sample will issue."""
+        plan_fn = getattr(self.model, "query_plan", None)
+        if plan_fn is None:
+            return []
+        points = self._model_points(idx, sample)
+        if points is None:
+            return []
+        return list(plan_fn(points, cache_key=idx))
+
+    def _eval_plan(self, dataset) -> List[QueryRequest]:
+        """The setting-independent query plan of one evaluation pass
+        (cache keys match the ``("eval", i)`` the evaluate loops pass).
+
+        Computed once and bound to each setting with ``with_setting`` —
+        plans depend only on geometry, so a settings sweep must not pay
+        the FPS/frustum-crop planning pass per setting.
+        """
+        plan_fn = getattr(self.model, "query_plan", None)
+        if plan_fn is None or self._pipeline is None:
+            return []
+        requests: List[QueryRequest] = []
+        for i in range(len(dataset)):
+            points = self._eval_points(i, dataset[i])
+            if points is None:
+                continue
+            requests.extend(plan_fn(points, cache_key=("eval", i)))
+        return requests
+
+    def _materialize_eval(
+        self, dataset, setting: ApproxSetting, runner: Optional[SweepRunner]
+    ) -> None:
+        # An evaluation pass reads each key exactly once, so without a
+        # fanning runner up-front materialization buys nothing: the
+        # forward loop computes (and caches) the same searches on demand,
+        # making the planning pass pure overhead.  (train() is different —
+        # epochs re-read keys, so its serial materialization still buys
+        # the dedupe and the working-set capacity growth.)  It pays off
+        # here when a process pool takes the search work, or is skipped
+        # when evaluate_settings already warmed the whole grid.
+        pipeline = self._pipeline
+        if pipeline is None or self._grid_is_warm or runner is None:
+            return
+        requests = [req.with_setting(setting) for req in self._eval_plan(dataset)]
+        if requests and runner.will_fan_out(len(requests)):
+            pipeline.materialize(requests, runner=runner)
+
+    # ------------------------------------------------------------------
+    def train(
+        self, dataset, epochs: int = 5, runner: Optional[SweepRunner] = None
+    ) -> TrainReport:
+        """Run ``epochs`` passes; samples a fresh ``h`` per input.
+
+        Epoch-batched: the whole schedule (per-epoch shuffles and the
+        per-input setting draws) is taken from the RNG up front —
+        stream-compatible with the retired per-step loop, so losses are
+        bit-identical seed for seed — and each epoch's neighbor matrices
+        are materialized into the pipeline's session before its gradient
+        loop runs (fanned across ``runner``'s process pool if given).
+        Models without a ``query_plan`` skip materialization and compute
+        per step, as before.
+        """
         report = TrainReport()
         items = self._dataset_items(dataset)
         self.model.train()
-        for _ in range(epochs):
-            order = self.rng.permutation(len(items))
+        plan = EpochPlan.draw(self.rng, self.sampler, len(items), epochs)
+        pipeline = self._pipeline
+        # Query plans depend only on sample geometry (FPS and frustum
+        # crops are deterministic), so plan each position once for the
+        # whole run, not once per epoch.
+        plan_cache: Dict[int, List[QueryRequest]] = {}
+
+        def plan_for(pos: int) -> List[QueryRequest]:
+            if pos not in plan_cache:
+                plan_cache[pos] = self._neighbor_requests(*items[pos])
+            return plan_cache[pos]
+
+        for epoch in range(epochs):
+            schedule = plan.schedules[epoch]
+            if pipeline is not None:
+                requests = plan.epoch_requests(epoch, plan_for)
+                if requests:
+                    pipeline.materialize(requests, runner=runner)
             losses = []
-            for pos in order:
+            for setting, pos in zip(schedule.settings, schedule.order):
                 idx, sample = items[pos]
-                setting = self.sampler.sample(self.rng)
                 self.optimizer.zero_grad()
                 loss = self._loss(sample, setting, cache_key=idx)
                 loss.backward()
@@ -88,7 +183,12 @@ class _BaseTrainer:
             report.epoch_losses.append(float(np.mean(losses)))
         return report
 
-    def evaluate(self, dataset, setting: ApproxSetting) -> float:
+    def evaluate(
+        self,
+        dataset,
+        setting: ApproxSetting,
+        runner: Optional[SweepRunner] = None,
+    ) -> float:
         raise NotImplementedError
 
     def evaluate_settings(
@@ -100,18 +200,45 @@ class _BaseTrainer:
         """Evaluate under several inference-time settings (the Fig. 13/18/19
         sweep shape); returns ``{setting: metric}`` in input order.
 
-        The sweep fans through a :class:`~repro.runtime.SweepRunner`.  The
-        default is the serial backend — every sweep point then shares this
-        trainer's memoized neighbor matrices, which is usually faster than
-        paying a cold cache per worker; pass a process-backed runner for
-        wide sweeps over slow models.
+        With a fanning (process-backed) runner, the whole ``settings x
+        dataset`` grid of neighbor matrices is materialized into the
+        shared session first — one setting-independent planning pass,
+        deduped, grouped per cloud — and the per-setting scoring then
+        also fans across the pool (each worker's trainer copy carries the
+        warm session, so workers parallelize the model forwards without
+        recomputing searches).  Without one, every sweep point computes
+        and memoizes on demand, which is exactly as fast serially.
+        Metrics are bit-identical either way.
         """
         settings = list(settings)
-        runner = runner if runner is not None else SweepRunner(backend="serial")
-        scores = runner.map(
-            functools.partial(_evaluate_one, self, dataset), settings
-        )
-        return dict(zip(settings, scores))
+        pipeline = self._pipeline
+        warmed = False
+        if pipeline is not None and runner is not None:
+            # One planning pass; the plan is setting-independent.  Only
+            # worth doing when a pool will actually take the search work.
+            plan = self._eval_plan(dataset)
+            requests: List[MaterializeRequest] = [
+                req.with_setting(setting) for setting in settings for req in plan
+            ]
+            if requests and runner.will_fan_out(len(requests)):
+                pipeline.materialize(requests, runner=runner)
+                warmed = True
+        if runner is not None and runner.will_fan_out(len(settings)):
+            # Fan the scoring too: model forwards dominate once searches
+            # are warm, and the pickled trainer ships the warm session.
+            scores = runner.map(
+                functools.partial(_evaluate_one, self, dataset), settings
+            )
+            return dict(zip(settings, scores))
+        # Serial scoring; the warm-grid flag stops the per-setting calls
+        # from re-planning what was just materialized.
+        self._grid_is_warm = warmed
+        try:
+            return {
+                setting: self.evaluate(dataset, setting) for setting in settings
+            }
+        finally:
+            self._grid_is_warm = False
 
 
 def _evaluate_one(trainer: "_BaseTrainer", dataset, setting: ApproxSetting) -> float:
@@ -127,10 +254,19 @@ class ClassificationTrainer(_BaseTrainer):
         logits = self.model(cloud.points, setting, cache_key=cache_key)
         return softmax_cross_entropy(logits, np.array([label]))
 
+    def _model_points(self, idx, sample):
+        cloud, _label = sample
+        return cloud.points
+
     def evaluate(
-        self, dataset: ShapeClassificationDataset, setting: ApproxSetting
+        self,
+        dataset: ShapeClassificationDataset,
+        setting: ApproxSetting,
+        runner: Optional[SweepRunner] = None,
     ) -> float:
         """Overall accuracy under a fixed inference-time setting."""
+        self._materialize_eval(dataset, setting, runner)
+        was_training = self.model.training
         self.model.eval()
         preds, labels = [], []
         with no_grad():
@@ -139,7 +275,10 @@ class ClassificationTrainer(_BaseTrainer):
                 logits = self.model(cloud.points, setting, cache_key=("eval", i))
                 preds.append(int(logits.data.argmax()))
                 labels.append(label)
-        self.model.train()
+        # Restore the mode the model was actually in: evaluating an
+        # eval-mode model must not silently flip it to training.
+        if was_training:
+            self.model.train()
         return overall_accuracy(np.array(preds), np.array(labels))
 
 
@@ -155,8 +294,14 @@ class SegmentationTrainer(_BaseTrainer):
         logits = self.model(cloud.points, setting, cache_key=cache_key)
         return softmax_cross_entropy(logits, cloud.labels)
 
+    def _model_points(self, idx, sample):
+        return sample.points
+
     def evaluate(
-        self, dataset: PartSegmentationDataset, setting: ApproxSetting
+        self,
+        dataset: PartSegmentationDataset,
+        setting: ApproxSetting,
+        runner: Optional[SweepRunner] = None,
     ) -> float:
         """mIoU under a fixed inference-time setting.
 
@@ -166,6 +311,8 @@ class SegmentationTrainer(_BaseTrainer):
         """
         from ..geometry.partseg import PART_CATEGORIES, part_id
 
+        self._materialize_eval(dataset, setting, runner)
+        was_training = self.model.training
         self.model.eval()
         all_preds, all_labels = [], []
         with no_grad():
@@ -183,7 +330,8 @@ class SegmentationTrainer(_BaseTrainer):
                     preds = logits.data.argmax(axis=-1)
                 all_preds.append(preds)
                 all_labels.append(cloud.labels)
-        self.model.train()
+        if was_training:
+            self.model.train()
         return mean_iou(
             np.concatenate(all_preds), np.concatenate(all_labels), self.num_classes
         )
@@ -234,8 +382,25 @@ class DetectionTrainer(_BaseTrainer):
         box_loss = huber_loss(pred.box_params, target[None, :])
         return seg_loss + 2.0 * box_loss
 
-    def evaluate(self, dataset: LidarDetectionDataset, setting: ApproxSetting) -> float:
+    def _model_points(self, idx, sample):
+        scene = sample
+        crop, _ = self._frustum_sample(scene, scene.boxes[0], seed=idx)
+        return crop
+
+    def _eval_points(self, i, sample):
+        scene = sample
+        crop, _ = self._frustum_sample(scene, scene.boxes[0], seed=10_000 + i)
+        return crop
+
+    def evaluate(
+        self,
+        dataset: LidarDetectionDataset,
+        setting: ApproxSetting,
+        runner: Optional[SweepRunner] = None,
+    ) -> float:
         """Geometric-mean BEV IoU on the first box of each scene."""
+        self._materialize_eval(dataset, setting, runner)
+        was_training = self.model.training
         self.model.eval()
         predicted, truth = [], []
         with no_grad():
@@ -246,5 +411,6 @@ class DetectionTrainer(_BaseTrainer):
                 pred = self.model(crop, setting, cache_key=("eval", i))
                 predicted.append(pred.decode(crop))
                 truth.append(box)
-        self.model.train()
+        if was_training:
+            self.model.train()
         return detection_iou_geomean(predicted, truth)

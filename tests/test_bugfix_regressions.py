@@ -15,6 +15,11 @@ One test class per fixed bug:
 * ``NeighborSearchEngine._top_phase`` accounted stalls as
   ``level_cycles - 1`` (serialization depth, not waiting PEs) and banked
   *global node ids* while phase 2 banks sub-tree buffer slots.
+* ``dram_traffic_study`` crashed on an empty trace list
+  (``np.concatenate([])`` / ``max()`` of an empty stream) where
+  ``nonstreaming_fraction`` guarded the same case.
+* Every trainer's ``evaluate`` unconditionally called ``model.train()``
+  on exit, silently flipping an eval-mode model back to training.
 """
 
 import numpy as np
@@ -299,3 +304,45 @@ class TestTopPhaseAccounting:
         split = SplitTree(tree, ApproxSetting(4, None).scaled_to(tree.height).top_height)
         assert result.top_phase_stalls == engine._top_phase(split, queries)[1]
         assert result.top_phase_stalls > 0
+
+
+# ----------------------------------------------------------------------
+# Bugfix 5: dram_traffic_study on an empty trace list
+# ----------------------------------------------------------------------
+class TestDramTrafficEmptyTraces:
+    def test_no_traces_reports_zero_instead_of_crashing(self, monkeypatch):
+        from repro.analysis import characterization, dram_traffic_study
+        from repro.analysis.characterization import nonstreaming_fraction
+
+        monkeypatch.setattr(
+            characterization, "layer_search_traces", lambda *a, **k: []
+        )
+        result = dram_traffic_study("PointNet++ (c)")
+        assert result.traffic_ratio == 0.0 and result.miss_rate == 0.0
+        # nonstreaming_fraction already guarded this; keep them agreeing.
+        assert nonstreaming_fraction("PointNet++ (c)") == 0.0
+
+
+# ----------------------------------------------------------------------
+# Bugfix 6: evaluate() silently flipping eval-mode models to training
+# ----------------------------------------------------------------------
+class TestEvaluateRestoresMode:
+    def test_eval_mode_model_stays_in_eval_mode(self):
+        from repro.core import ApproxSetting
+        from repro.geometry import ShapeClassificationDataset
+        from repro.models import PointNetPPClassifier
+        from repro.training import ClassificationTrainer, FixedSetting
+
+        data = ShapeClassificationDataset(
+            size=4, num_points=64, seed=0, occlusion=0.0, noise=0.01, rotate=False
+        )
+        model = PointNetPPClassifier(data.num_classes, np.random.default_rng(0))
+        trainer = ClassificationTrainer(model, FixedSetting(ApproxSetting()))
+
+        model.eval()
+        trainer.evaluate(data, ApproxSetting())
+        assert all(not m.training for m in model.modules())
+
+        model.train()
+        trainer.evaluate(data, ApproxSetting())
+        assert all(m.training for m in model.modules())

@@ -3,23 +3,34 @@
 Acceptance floors from the runtime issues, all on a 4096-point cloud:
 ≥3× for the batched exact query vs the per-query searcher, ≥5× for the
 vectorized lockstep engine vs the per-step ``run_subtree_lockstep``
-reference, and ≥5× for the vectorized top phase vs the per-group descent
-loop (measured margins are typically well above all three, so the
-assertions have real headroom against noisy machines).  Marked ``slow``:
-the Python reference loops themselves are the expensive part.
+reference, ≥5× for the vectorized top phase vs the per-group descent
+loop, and ≥5× for the traced batched engine vs the per-query
+``record_trace=True`` loop the motivation studies used to run (measured
+margins are typically well above all four, so the assertions have real
+headroom against noisy machines).  Also benches the epoch-batched
+training materialization fan-out.  Marked ``slow``: the Python reference
+loops themselves are the expensive part.
 """
 
+import os
 import time
 
 import numpy as np
 import pytest
 
-from repro.core import TreeBufferBanking
+from repro.core import ApproxSetting, TreeBufferBanking
+from repro.core.pipeline import ApproximationPipeline
 from repro.core.split_tree import SplitTree
 from repro.kdtree import ball_query, build_kdtree
+from repro.kdtree.exact import radius_search
+from repro.kdtree.stats import TraversalStats
 from repro.memsim import SramStats
+from repro.models.layers import farthest_point_sampling
 from repro.runtime import (
     BatchedBallQuery,
+    MaterializeRequest,
+    SweepRunner,
+    TracedBallQuery,
     VectorizedLockstep,
     reference_top_phase,
     vectorized_top_phase,
@@ -45,6 +56,8 @@ LOCKSTEP_PES = 8
 LOCKSTEP_BANKS = 8
 LOCKSTEP_MIN_SPEEDUP = 5.0
 TOPPHASE_MIN_SPEEDUP = 5.0
+TRACED_MIN_SPEEDUP = 5.0
+EPOCH_FANOUT_MIN_SPEEDUP = 1.2
 
 
 def _best_of(repeats, fn):
@@ -148,4 +161,82 @@ def test_vectorized_top_phase_beats_group_loop_on_4k_cloud(rng):
     assert speedup >= TOPPHASE_MIN_SPEEDUP, (
         f"vectorized top phase only {speedup:.2f}x faster "
         f"({ref_time:.3f}s loop vs {vec_time:.3f}s vectorized)"
+    )
+
+
+def test_traced_engine_beats_per_query_trace_loop_on_4k_cloud(rng):
+    # The full-size layer_search_traces shape: every query of a 4096-point
+    # cloud traced with stats, the workload Figs. 2-3 collect per layer.
+    pts = rng.normal(size=(N_POINTS, 3))
+    queries = pts[rng.permutation(N_POINTS)]
+    tree = build_kdtree(pts)
+    radius, k = 0.25, MAX_NEIGHBORS
+    engine = TracedBallQuery(tree)
+    engine.query(queries[:8], radius, k)  # warm-up
+
+    def reference():
+        out = []
+        for q in queries:
+            stats = TraversalStats()
+            radius_search(
+                tree, q, radius, max_neighbors=k, stats=stats, record_trace=True
+            )
+            out.append(stats.visit_trace)
+        return out
+
+    ref_time, ref_traces = _best_of(1, reference)
+    traced_time, result = _best_of(3, lambda: engine.query(queries, radius, k))
+
+    # Identical traces, much less time.
+    assert [t.tolist() for t in result.traces] == ref_traces
+    speedup = ref_time / traced_time
+    assert speedup >= TRACED_MIN_SPEEDUP, (
+        f"traced engine only {speedup:.2f}x faster "
+        f"({ref_time:.3f}s loop vs {traced_time:.3f}s traced)"
+    )
+
+
+def test_epoch_materialization_fanout_beats_serial(rng):
+    # One epoch's worth of approximate neighbor materialization (the
+    # conflict-simulated search is the expensive part of Sec. 5 training):
+    # the process fan-out must beat computing the same groups serially,
+    # and must fill the session with identical entries.
+    clouds = [rng.normal(size=(1024, 3)) for _ in range(8)]
+    settings = [ApproxSetting(4, 8), ApproxSetting(3, None)]
+    requests = []
+    for ci, cloud in enumerate(clouds):
+        queries = cloud[farthest_point_sampling(cloud, 128)]
+        for setting in settings:
+            requests.append(
+                MaterializeRequest(
+                    points=cloud, queries=queries, radius=0.3, max_neighbors=16,
+                    setting=setting, cache_key=(ci, "sa1"),
+                )
+            )
+
+    serial = ApproximationPipeline()
+    t0 = time.perf_counter()
+    report = serial.materialize(requests)
+    serial_time = time.perf_counter() - t0
+    assert report.computed == len(requests)
+
+    fanned = ApproximationPipeline()
+    runner = SweepRunner(num_workers=4, backend="process")
+    t0 = time.perf_counter()
+    fanned.materialize(requests, runner=runner)
+    fanout_time = time.perf_counter() - t0
+
+    # Identical cache contents regardless of where the work ran.
+    a, b = serial.session.results._data, fanned.session.results._data
+    assert set(a) == set(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key][0], b[key][0])
+        np.testing.assert_array_equal(a[key][1], b[key][1])
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-CPU machine: process fan-out cannot be faster")
+    speedup = serial_time / fanout_time
+    assert speedup >= EPOCH_FANOUT_MIN_SPEEDUP, (
+        f"epoch materialization fan-out only {speedup:.2f}x faster "
+        f"({serial_time:.3f}s serial vs {fanout_time:.3f}s fanned)"
     )
