@@ -1,0 +1,82 @@
+"""Benchmark-lane guard for the request-coalescing serving layer.
+
+The serving front-end exists to turn N concurrent same-cloud requests
+into one merged frontier sweep; a regression that quietly serves them one
+sweep per request would keep every result bit-identical while destroying
+the throughput the subsystem was built for.  This bench runs in the CI
+smoke lane (it is *not* marked slow): a down-scaled same-cloud request
+trace with heterogeneous ``(radius, K)`` settings, an identity check of
+the coalesced results against per-request serving, and a conservative
+speed floor — well under the margin the full-size
+``tests/test_runtime_perf.py`` bench demonstrates, so shared-runner noise
+cannot flake it, but far above the ~1x a per-request fallback measures.
+"""
+
+import time
+
+import numpy as np
+
+from repro.runtime import SearchSession
+from repro.serve import QueryService
+
+N_POINTS = 1024
+N_REQUESTS = 64
+QUERIES_PER_REQUEST = 8
+RADII = (0.1, 0.15, 0.25)
+MAX_NEIGHBORS = (8, 16, 32)
+MIN_SPEEDUP = 3.0
+
+
+def make_trace(rng):
+    points = rng.normal(size=(N_POINTS, 3))
+    trace = []
+    for i in range(N_REQUESTS):
+        queries = points[rng.integers(0, N_POINTS, size=QUERIES_PER_REQUEST)]
+        trace.append(
+            (points, queries, RADII[i % len(RADII)], MAX_NEIGHBORS[i % len(MAX_NEIGHBORS)])
+        )
+    return points, trace
+
+
+def test_coalesced_service_does_not_regress():
+    rng = np.random.default_rng(20260730)
+    points, trace = make_trace(rng)
+    # Both sides share one warm session: the comparison is coalescing
+    # versus per-request serving, not tree construction.
+    session = SearchSession()
+    session.tree_for(points)
+
+    def coalesced():
+        service = QueryService(session=session)
+        tickets = [service.submit(*request) for request in trace]
+        service.flush()
+        return [ticket.result() for ticket in tickets], service.stats
+
+    def sequential():
+        service = QueryService(session=session)
+        return [service.query(*request) for request in trace]
+
+    coalesced()  # warm-up
+    t0 = time.perf_counter()
+    sequential_results = sequential()
+    sequential_time = time.perf_counter() - t0
+    coalesced_time = float("inf")
+    coalesced_results = stats = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        coalesced_results, stats = coalesced()
+        coalesced_time = min(coalesced_time, time.perf_counter() - t0)
+
+    # Identity: the coalesced stream equals per-request serving.
+    for (ci, cc), (si, sc) in zip(coalesced_results, sequential_results):
+        np.testing.assert_array_equal(ci, si)
+        np.testing.assert_array_equal(cc, sc)
+    # The whole same-cloud trace must have merged into one sweep.
+    assert stats.sweeps == 1
+    assert stats.coalesce_factor == N_REQUESTS
+
+    speedup = sequential_time / coalesced_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"coalesced serving only {speedup:.2f}x faster "
+        f"({sequential_time:.3f}s sequential vs {coalesced_time:.3f}s coalesced)"
+    )

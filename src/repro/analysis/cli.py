@@ -6,10 +6,16 @@ Regenerates the paper's figures from the terminal without pytest::
     python -m repro.analysis.cli --figures 2 14  # a subset
     python -m repro.analysis.cli --workers 4     # fan across processes
     python -m repro.analysis.cli --list          # what's available
+    python -m repro.analysis.cli serve           # serving-layer trace replay
 
 Figures are independent experiments, so ``--workers N`` fans them across
 ``N`` worker processes through :class:`repro.runtime.SweepRunner`; output
 order matches the requested figure order regardless of worker count.
+
+``serve`` replays a synthetic concurrent-request trace through the
+request-coalescing serving front-end (:mod:`repro.serve`) and reports the
+coalesce factor, latency, and wall-clock speedup over serving the same
+trace one request at a time.
 
 Training-backed figures (13, 18–21, and Fig. 23's accuracy axis) live in
 ``benchmarks/`` because they reuse the memoized trained models there; this
@@ -245,7 +251,61 @@ def _render_figure(fig: str) -> str:
     return FIGURES[fig]()
 
 
+def _serve_main(argv: List[str]) -> int:
+    """The ``serve`` subcommand: synthetic request-trace replay."""
+    from ..serve import replay_trace, synthetic_trace
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.cli serve",
+        description="Replay a synthetic request trace through the "
+        "coalescing serving front-end and report throughput/latency stats.",
+    )
+    parser.add_argument("--requests", type=int, default=96)
+    parser.add_argument("--clouds", type=int, default=3,
+                        help="distinct point clouds in the trace")
+    parser.add_argument("--cloud-size", type=int, default=2048)
+    parser.add_argument("--queries", type=int, default=64,
+                        help="query points per request")
+    parser.add_argument("--window-ms", type=float, default=1.0,
+                        help="micro-batch submission window")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-pending", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    trace = synthetic_trace(
+        num_requests=args.requests, num_clouds=args.clouds,
+        cloud_size=args.cloud_size, queries_per_request=args.queries,
+        seed=args.seed,
+    )
+    report = replay_trace(
+        trace, window=args.window_ms / 1000.0,
+        max_batch=args.max_batch, max_pending=args.max_pending,
+    )
+    stats = report.stats
+    print(format_table(
+        f"serve: {report.requests} requests over {args.clouds} clouds "
+        f"({args.queries} queries each)",
+        ["metric", "value"],
+        [
+            ["merged sweeps", str(stats.sweeps)],
+            ["coalesce factor", f"{stats.coalesce_factor:.1f}x"],
+            ["largest merged batch", str(stats.max_coalesced)],
+            ["mean request latency", f"{stats.mean_wait * 1e3:.2f} ms"],
+            ["serve throughput", f"{stats.throughput:.0f} req/s"],
+            ["coalesced wall time", f"{report.coalesced_time:.3f} s"],
+            ["sequential wall time", f"{report.sequential_time:.3f} s"],
+            ["speedup vs sequential", f"{report.speedup:.2f}x"],
+            ["results identical", str(report.results_identical)],
+        ],
+    ))
+    return 0 if report.results_identical else 1
+
+
 def main(argv: List[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.cli",
         description="Regenerate Crescent paper figures from the terminal.",
@@ -264,6 +324,8 @@ def main(argv: List[str] | None = None) -> int:
         print("available figures:", ", ".join(sorted(FIGURES, key=int)))
         print("training-backed figures (13, 18-21, 23's accuracy axis) run "
               "via: pytest benchmarks/ --benchmark-only")
+        print("serving-layer trace replay: python -m repro.analysis.cli "
+              "serve --help")
         return 0
     for fig in args.figures:
         if fig not in FIGURES:

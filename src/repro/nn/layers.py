@@ -93,10 +93,21 @@ class ReLU(Module):
         return x.relu()
 
 
+# Spawning source for default-constructed Dropout layers.  Each instance
+# used to create its own ``default_rng(0)``, which made every such layer
+# draw the *identical* mask stream — stacked dropout layers masked the
+# same positions every step (perfectly correlated masking).  Spawned
+# children are independent streams, still deterministic run-to-run (the
+# spawn sequence is a pure function of this seed and construction order).
+_DROPOUT_SEEDS = np.random.SeedSequence(0)
+
+
 class Dropout(Module):
     """Inverted dropout; identity at eval time.
 
-    Uses an explicit generator so training runs are reproducible.
+    Uses an explicit generator so training runs are reproducible; when no
+    generator is passed, each instance gets an independent deterministic
+    stream spawned from a module-level :class:`numpy.random.SeedSequence`.
     """
 
     def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
@@ -104,7 +115,9 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError("p must be in [0, 1)")
         self.p = p
-        self.rng = rng or np.random.default_rng(0)
+        if rng is None:
+            rng = np.random.default_rng(_DROPOUT_SEEDS.spawn(1)[0])
+        self.rng = rng
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:

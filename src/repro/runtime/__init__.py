@@ -42,7 +42,12 @@ result-only paths (training, accuracy sweeps) and the cycle-accounted
 simulation the figure benchmarks run.
 """
 
-from .batched import BatchedBallQuery, batched_ball_query
+from .batched import (
+    BatchedBallQuery,
+    batched_ball_query,
+    batched_nearest_node,
+    frontier_sweep,
+)
 from .epoch import (
     EpochPlan,
     EpochSchedule,
@@ -70,6 +75,8 @@ __all__ = [
     "worker_session",
     "BatchedBallQuery",
     "batched_ball_query",
+    "batched_nearest_node",
+    "frontier_sweep",
     "TracedBallQuery",
     "TracedBatchResult",
     "traced_ball_query",

@@ -156,10 +156,16 @@ class SearchSession:
         self.split_trees = LruCache(max_trees)
 
     # ------------------------------------------------------------------
-    def tree_for(self, points: np.ndarray) -> KdTree:
-        """Build (or fetch) the K-d tree over ``points``."""
+    def tree_for(self, points: np.ndarray, digest: Optional[str] = None) -> KdTree:
+        """Build (or fetch) the K-d tree over ``points``.
+
+        ``digest`` lets callers that already computed
+        ``geometry_digest(points)`` (the serving layer digests every
+        request at submit time) skip re-hashing the cloud here; it must
+        be the digest of ``points`` as float64.
+        """
         points = np.asarray(points, dtype=np.float64)
-        key = geometry_digest(points)
+        key = geometry_digest(points) if digest is None else digest
         tree = self.trees.get(key, _MISS)
         if tree is _MISS:
             tree = build_kdtree(points)

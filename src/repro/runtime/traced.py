@@ -57,7 +57,7 @@ import numpy as np
 from ..kdtree.build import KdTree
 from ..kdtree.exact import knn_search, radius_search
 from ..kdtree.stats import TraversalStats
-from .batched import _MAX_RANK_DEPTH, frontier_sweep
+from .batched import batched_nearest_node, frontier_sweep
 
 __all__ = ["TracedBallQuery", "TracedBatchResult", "traced_ball_query"]
 
@@ -136,11 +136,8 @@ class TracedBallQuery:
     """
 
     def __init__(self, tree: KdTree):
-        if tree.height > _MAX_RANK_DEPTH:
-            raise ValueError(
-                f"tree height {tree.height} exceeds the DFS-rank depth limit "
-                f"({_MAX_RANK_DEPTH}); use the per-query searchers"
-            )
+        # The DFS-rank depth guard lives in frontier_sweep (the single
+        # definition of the rank arithmetic), which :meth:`query` drives.
         self.tree = tree
 
     # ------------------------------------------------------------------
@@ -271,8 +268,11 @@ class TracedBallQuery:
         col = np.arange(k, dtype=np.int64)[None, :]
         pad = col >= np.maximum(counts, 1)[:, None]
         indices = np.where(pad, indices[:, :1], indices)
-        for qi in np.nonzero(hits_total == 0)[0]:
-            indices[qi, :] = knn_search(tree, queries[qi], 1)[0]
+        zero = np.nonzero(hits_total == 0)[0]
+        if len(zero):
+            uniq, inverse = np.unique(queries[zero], axis=0, return_inverse=True)
+            nearest = batched_nearest_node(tree, uniq)
+            indices[zero, :] = nearest[inverse][:, None]
 
         return TracedBatchResult(
             indices=indices,

@@ -1,0 +1,34 @@
+"""Request-coalescing serving layer over the batched query runtime.
+
+The first piece of the codebase that serves *concurrent independent
+callers* rather than replaying figure grids.  Three layers:
+
+- :class:`QueryService` — the synchronous core: a request queue,
+  same-cloud coalescing keyed by geometry digest, one **merged frontier
+  sweep** per coalesced group (:meth:`repro.runtime.BatchedBallQuery.
+  query_merged`), per-request result demux, and throughput / latency /
+  coalesce-factor statistics.  Results are bit-identical to serving each
+  request alone, which the serving parity suite pins down.
+- :class:`AsyncQueryFrontend` — the asyncio front-end: ``await
+  submit(...)`` parks a request and returns its result when the
+  micro-batch flusher serves it; a submission window, a max-batch cut-off,
+  and a bounded pending queue (backpressure) shape the batches; ``drain``
+  serves everything queued and shuts down gracefully.
+- :func:`synthetic_trace` / :func:`replay_trace` — the request-trace
+  workload generator and replay harness behind ``python -m
+  repro.analysis.cli serve``.
+"""
+
+from .frontend import AsyncQueryFrontend
+from .service import QueryService, QueryTicket, ServiceStats
+from .trace import TraceReport, replay_trace, synthetic_trace
+
+__all__ = [
+    "AsyncQueryFrontend",
+    "QueryService",
+    "QueryTicket",
+    "ServiceStats",
+    "TraceReport",
+    "replay_trace",
+    "synthetic_trace",
+]

@@ -1,0 +1,180 @@
+"""Asyncio micro-batching front-end over :class:`~repro.serve.QueryService`.
+
+Concurrent callers ``await submit(...)``; each submit parks its request in
+the shared service queue and parks the caller on a future.  A single
+flusher task shapes the micro-batches: when the queue goes non-empty it
+waits up to ``window`` seconds for more arrivals (cut short the moment
+``max_batch`` requests are queued), then serves the whole queue with one
+:meth:`QueryService.flush` — same-cloud requests coalesce into merged
+frontier sweeps — and resolves every waiting future with its request's
+``(indices, counts)``.
+
+``max_pending`` bounds the number of in-flight requests: submits past the
+bound *await* until a flush drains space, so a burst of producers applies
+backpressure instead of growing the queue without limit.  ``drain()``
+(also run by ``async with``'s exit) stops accepting new work, serves
+everything still queued, and joins the flusher.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .service import QueryService, QueryTicket
+
+__all__ = ["AsyncQueryFrontend"]
+
+
+class AsyncQueryFrontend:
+    """Turns concurrent awaiting callers into coalesced merged sweeps.
+
+    Parameters
+    ----------
+    service:
+        The :class:`QueryService` to serve through (a fresh one with its
+        own session by default).  Sharing a service between a frontend and
+        direct synchronous callers is fine — a flush serves whatever is
+        queued.
+    window:
+        Micro-batch submission window in seconds: how long the flusher
+        waits after the first queued request for others to join its batch.
+        ``0`` flushes as soon as the event loop yields to the flusher.
+    max_batch:
+        Queue size that cuts the window short and flushes immediately.
+    max_pending:
+        Bound on in-flight (submitted, unserved) requests; submits past it
+        await space (backpressure).
+    """
+
+    def __init__(
+        self,
+        service: Optional[QueryService] = None,
+        window: float = 0.001,
+        max_batch: int = 64,
+        max_pending: int = 256,
+    ):
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_pending < max_batch:
+            raise ValueError("max_pending must be at least max_batch")
+        self.service = service if service is not None else QueryService()
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self.max_pending = int(max_pending)
+        self._waiters: List[Tuple[QueryTicket, asyncio.Future]] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._space: Optional[asyncio.Event] = None
+        self._flusher: Optional[asyncio.Task] = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "AsyncQueryFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.drain()
+
+    async def start(self) -> None:
+        """Spawn the flusher task on the running loop."""
+        if self._flusher is not None:
+            raise RuntimeError("frontend already started")
+        self._closing = False
+        self._wake = asyncio.Event()
+        self._space = asyncio.Event()
+        self._space.set()
+        self._flusher = asyncio.get_running_loop().create_task(self._run())
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new submits, serve the queue, join."""
+        if self._flusher is None:
+            return
+        self._closing = True
+        self._wake.set()
+        self._space.set()  # release backpressured submitters to fail fast
+        await self._flusher
+        self._flusher = None
+
+    @property
+    def pending(self) -> int:
+        """In-flight requests (submitted, not yet served)."""
+        return len(self._waiters)
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        points: np.ndarray,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Queue one request and await its ``(indices, counts)`` result."""
+        if self._closing:
+            raise RuntimeError("frontend is draining or closed; no new requests")
+        if self._flusher is None:
+            raise RuntimeError(
+                "frontend not started (use 'async with' or await start())"
+            )
+        while not self._closing and len(self._waiters) >= self.max_pending:
+            self._space.clear()
+            await self._space.wait()
+        if self._closing:
+            raise RuntimeError("frontend is draining or closed; no new requests")
+        ticket = self.service.submit(points, queries, radius, max_neighbors)
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append((ticket, future))
+        if len(self._waiters) >= self.max_batch or len(self._waiters) == 1:
+            # First arrival opens a micro-batch window; hitting max_batch
+            # cuts the window short.  In-between arrivals just join.
+            self._wake.set()
+        return await future
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if not self._waiters:
+                if self._closing:
+                    break
+                continue
+            if (
+                self.window > 0
+                and len(self._waiters) < self.max_batch
+                and not self._closing
+            ):
+                # The micro-batch window: sleep on the wake event so a
+                # max_batch-th arrival (or drain) cuts it short.
+                try:
+                    await asyncio.wait_for(self._wake.wait(), self.window)
+                except asyncio.TimeoutError:
+                    pass
+                self._wake.clear()
+            self._flush_now()
+            self._space.set()
+            if self._closing and not self._waiters:
+                break
+
+    def _flush_now(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        try:
+            self.service.flush()
+        except Exception as exc:  # surface the failure on every caller
+            for _, future in waiters:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for ticket, future in waiters:
+            if future.done():  # caller went away (cancelled)
+                continue
+            if ticket.error is not None:  # its cloud group failed to serve
+                future.set_exception(ticket.error)
+            elif ticket.done:
+                future.set_result(ticket.result())
+            else:  # can only happen if the shared service was mutated
+                future.set_exception(RuntimeError("request was not served"))

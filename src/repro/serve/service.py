@@ -1,0 +1,247 @@
+"""The synchronous serving core: queue, coalesce, merge-sweep, demux.
+
+:class:`QueryService` turns a stream of independent ball-query requests —
+each a ``(points, queries, radius, K)`` tuple from some caller — into as
+few merged frontier sweeps as the stream allows.  Requests accumulate in
+an arrival-ordered queue; :meth:`QueryService.flush` groups the queue by
+**geometry digest** (same cloud ⇒ same K-d tree, built or fetched once
+through the shared :class:`~repro.runtime.session.SearchSession`),
+concatenates each group's query batches with per-query radii and a
+request-id vector, answers the whole group with one
+:meth:`~repro.runtime.batched.BatchedBallQuery.query_merged` advance, and
+demuxes the per-request results back onto the callers' tickets.
+
+Coalescing is a pure batching transform: row independence of the merged
+sweep makes every served result bit-identical to running the request
+alone (``tests/test_serve.py`` pins this).  What changes is the cost —
+one Python-level frontier advance per *group* instead of per *request* —
+which is where the ≥3x serving throughput over sequential submission
+comes from (``benchmarks/test_serve_perf.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..runtime.batched import BatchedBallQuery
+from ..runtime.session import SearchSession, geometry_digest
+
+__all__ = ["QueryService", "QueryTicket", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Serving counters, updated by every :meth:`QueryService.flush`."""
+
+    requests: int = 0  # requests served
+    queries: int = 0  # individual query points served
+    sweeps: int = 0  # merged frontier sweeps executed
+    flushes: int = 0  # flush() calls that served at least one request
+    serve_time: float = 0.0  # wall-clock spent inside flush()
+    wait_time: float = 0.0  # summed per-request submit-to-serve latency
+    max_coalesced: int = 0  # most requests ever answered by one sweep
+
+    @property
+    def coalesce_factor(self) -> float:
+        """Mean requests answered per merged sweep (1.0 = no coalescing)."""
+        return self.requests / self.sweeps if self.sweeps else 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean submit-to-serve latency per request (seconds)."""
+        return self.wait_time / self.requests if self.requests else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Requests served per second of serve (flush) time."""
+        return self.requests / self.serve_time if self.serve_time else 0.0
+
+
+class QueryTicket:
+    """Handle for one submitted request, filled in by the serving flush.
+
+    The synchronous counterpart of a future: :attr:`done` flips once a
+    flush has served the request, after which :meth:`result` returns the
+    ``(indices, counts)`` pair with the ``ball_query`` contract.
+    """
+
+    __slots__ = (
+        "radius",
+        "max_neighbors",
+        "submitted_at",
+        "served_at",
+        "indices",
+        "counts",
+        "error",
+    )
+
+    def __init__(self, radius: float, max_neighbors: int, submitted_at: float):
+        self.radius = radius
+        self.max_neighbors = max_neighbors
+        self.submitted_at = submitted_at
+        self.served_at: Optional[float] = None
+        self.indices: Optional[np.ndarray] = None
+        self.counts: Optional[np.ndarray] = None
+        self.error: Optional[Exception] = None
+
+    @property
+    def done(self) -> bool:
+        """Settled — served with a result or failed with an error."""
+        return self.counts is not None or self.error is not None
+
+    @property
+    def wait(self) -> float:
+        """Submit-to-serve latency (seconds); raises if not served yet."""
+        if self.served_at is None:
+            raise RuntimeError("request not served yet")
+        return self.served_at - self.submitted_at
+
+    def result(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self.error is not None:
+            raise self.error
+        if not self.done:
+            raise RuntimeError(
+                "request not served yet; call QueryService.flush() first"
+            )
+        return self.indices, self.counts
+
+
+class _Pending:
+    __slots__ = ("digest", "points", "queries", "ticket")
+
+    def __init__(self, digest, points, queries, ticket):
+        self.digest = digest
+        self.points = points
+        self.queries = queries
+        self.ticket = ticket
+
+
+class QueryService:
+    """Micro-batching ball-query service over a shared search session.
+
+    Parameters
+    ----------
+    session:
+        The :class:`SearchSession` that owns tree construction; distinct
+        requests against the same cloud share one tree through it (and a
+        cloud already warmed by training or sweep code is served without
+        any build at all).
+    clock:
+        Monotonic time source for the latency/throughput stats (injectable
+        so tests can pin timing-derived numbers).
+    """
+
+    def __init__(
+        self,
+        session: Optional[SearchSession] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.session = session if session is not None else SearchSession()
+        self.stats = ServiceStats()
+        self._clock = clock
+        self._queue: List[_Pending] = []
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet served."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        points: np.ndarray,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+    ) -> QueryTicket:
+        """Queue one request; returns its ticket (served at next flush).
+
+        Validation happens here — a bad request must fail its caller at
+        submit time, not poison the merged sweep it would have joined.
+        """
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        if max_neighbors <= 0:
+            raise ValueError("max_neighbors must be positive")
+        points = np.asarray(points, dtype=np.float64)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if points.ndim != 2 or points.shape[1] != 3 or len(points) == 0:
+            raise ValueError(f"points must be (N, 3) with N >= 1, got {points.shape}")
+        if queries.ndim != 2 or queries.shape[1] != 3:
+            raise ValueError(f"queries must be (M, 3), got {queries.shape}")
+        ticket = QueryTicket(float(radius), int(max_neighbors), self._clock())
+        self._queue.append(
+            _Pending(geometry_digest(points), points, queries, ticket)
+        )
+        return ticket
+
+    def flush(self) -> int:
+        """Serve everything queued; returns the number of merged sweeps.
+
+        Requests are grouped by geometry digest in arrival order; each
+        group is answered by one merged frontier advance over the group's
+        concatenated queries, then demuxed back onto the tickets.
+        """
+        if not self._queue:
+            return 0
+        batch, self._queue = self._queue, []
+        t0 = self._clock()
+        groups: "OrderedDict[str, List[_Pending]]" = OrderedDict()
+        for p in batch:
+            groups.setdefault(p.digest, []).append(p)
+        for members in groups.values():
+            try:
+                # The digest was computed at submit time; don't re-hash
+                # the cloud just to key the tree cache.
+                tree = self.session.tree_for(
+                    members[0].points, digest=members[0].digest
+                )
+                engine = BatchedBallQuery(tree)
+                sizes = [len(p.queries) for p in members]
+                merged_queries = np.concatenate([p.queries for p in members])
+                radii = np.concatenate(
+                    [np.full(n, p.ticket.radius) for p, n in zip(members, sizes)]
+                )
+                request_ids = np.repeat(np.arange(len(members)), sizes)
+                ks = np.asarray([p.ticket.max_neighbors for p in members])
+                results = engine.query_merged(
+                    merged_queries, radii, request_ids, ks
+                )
+            except Exception as exc:
+                # Contain the blast radius to this cloud group: its
+                # tickets settle with the error (submit-time validation
+                # makes this an internal failure, e.g. a malformed custom
+                # tree), other groups still get served.
+                for p in members:
+                    p.ticket.error = exc
+                continue
+            now = self._clock()
+            for p, (indices, counts) in zip(members, results):
+                p.ticket.indices = indices
+                p.ticket.counts = counts
+                p.ticket.served_at = now
+                self.stats.wait_time += now - p.ticket.submitted_at
+            self.stats.sweeps += 1
+            self.stats.requests += len(members)
+            self.stats.queries += int(sum(sizes))
+            self.stats.max_coalesced = max(self.stats.max_coalesced, len(members))
+        self.stats.flushes += 1
+        self.stats.serve_time += self._clock() - t0
+        return len(groups)
+
+    def query(
+        self,
+        points: np.ndarray,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Submit-and-serve convenience for sequential (uncoalesced) callers."""
+        ticket = self.submit(points, queries, radius, max_neighbors)
+        self.flush()
+        return ticket.result()

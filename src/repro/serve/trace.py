@@ -1,0 +1,124 @@
+"""Synthetic request traces and the replay harness behind ``cli serve``.
+
+A *trace* is a list of ``(points, queries, radius, max_neighbors)``
+requests — the workload a fleet of independent callers would put on the
+serving layer.  :func:`synthetic_trace` draws one deterministically: a
+handful of distinct clouds, each request picking a cloud, a query batch
+sampled from it, and heterogeneous ``(radius, K)`` settings, so replay
+exercises exactly the coalescing the service exists for (many same-cloud
+requests with different settings, interleaved across clouds).
+
+:func:`replay_trace` drives the trace twice — all requests submitted
+concurrently through the :class:`~repro.serve.AsyncQueryFrontend`, then
+one at a time through a fresh sequential service — verifies the two
+result streams are bit-identical, and reports the serving stats plus the
+wall-clock speedup of coalescing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .frontend import AsyncQueryFrontend
+from .service import QueryService, ServiceStats
+
+__all__ = ["TraceReport", "replay_trace", "synthetic_trace"]
+
+Request = Tuple[np.ndarray, np.ndarray, float, int]
+
+# The heterogeneous settings pool requests draw from: network-layer-like
+# radii and neighbor caps, so merged sweeps always mix radius and K.
+_RADII = (0.1, 0.15, 0.25)
+_MAX_NEIGHBORS = (8, 16, 32)
+
+
+def synthetic_trace(
+    num_requests: int = 96,
+    num_clouds: int = 3,
+    cloud_size: int = 2048,
+    queries_per_request: int = 64,
+    seed: int = 0,
+) -> List[Request]:
+    """Draw a deterministic request trace over ``num_clouds`` point clouds."""
+    if num_requests <= 0 or num_clouds <= 0 or cloud_size <= 0:
+        raise ValueError("trace dimensions must be positive")
+    if queries_per_request <= 0:
+        raise ValueError("queries_per_request must be positive")
+    rng = np.random.default_rng(seed)
+    clouds = [rng.normal(size=(cloud_size, 3)) for _ in range(num_clouds)]
+    trace: List[Request] = []
+    for _ in range(num_requests):
+        cloud = clouds[int(rng.integers(num_clouds))]
+        queries = cloud[rng.integers(0, cloud_size, size=queries_per_request)]
+        trace.append(
+            (
+                cloud,
+                queries,
+                float(rng.choice(_RADII)),
+                int(rng.choice(_MAX_NEIGHBORS)),
+            )
+        )
+    return trace
+
+
+@dataclass
+class TraceReport:
+    """What one replay measured."""
+
+    stats: ServiceStats  # the coalescing service's counters
+    requests: int
+    coalesced_time: float  # wall clock, all requests through the frontend
+    sequential_time: float  # wall clock, one flush per request
+    results_identical: bool  # coalesced stream == sequential stream
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.sequential_time / self.coalesced_time
+            if self.coalesced_time
+            else float("inf")
+        )
+
+
+def replay_trace(
+    trace: List[Request],
+    window: float = 0.001,
+    max_batch: int = 64,
+    max_pending: int = 256,
+) -> TraceReport:
+    """Replay ``trace`` coalesced and sequentially; compare and report."""
+    service = QueryService()
+
+    async def run_coalesced():
+        async with AsyncQueryFrontend(
+            service, window=window, max_batch=max_batch, max_pending=max_pending
+        ) as frontend:
+            return await asyncio.gather(
+                *[frontend.submit(*request) for request in trace]
+            )
+
+    t0 = time.perf_counter()
+    coalesced = asyncio.run(run_coalesced())
+    coalesced_time = time.perf_counter() - t0
+
+    sequential_service = QueryService()
+    t0 = time.perf_counter()
+    sequential = [sequential_service.query(*request) for request in trace]
+    sequential_time = time.perf_counter() - t0
+
+    identical = all(
+        np.array_equal(ci, si) and np.array_equal(cc, sc)
+        for (ci, cc), (si, sc) in zip(coalesced, sequential)
+    )
+    return TraceReport(
+        stats=service.stats,
+        requests=len(trace),
+        coalesced_time=coalesced_time,
+        sequential_time=sequential_time,
+        results_identical=identical,
+    )

@@ -97,6 +97,20 @@ class TestDropout:
         with pytest.raises(ValueError):
             Dropout(1.0)
 
+    def test_default_layers_draw_independent_masks(self):
+        # Regression: default-constructed layers each used to build their
+        # own default_rng(0), so stacked dropout layers masked identical
+        # positions every step (perfectly correlated masking).
+        a, b = Dropout(0.5), Dropout(0.5)
+        x = Tensor(np.ones((64, 64)))
+        assert not np.array_equal(a(x).data, b(x).data)
+
+    def test_explicit_rng_still_reproducible(self):
+        x = Tensor(np.ones((32, 32)))
+        out1 = Dropout(0.5, rng=np.random.default_rng(7))(x)
+        out2 = Dropout(0.5, rng=np.random.default_rng(7))(x)
+        assert np.array_equal(out1.data, out2.data)
+
 
 class TestSequentialAndMLP:
     def test_sequential_composes(self):

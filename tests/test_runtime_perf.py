@@ -29,12 +29,14 @@ from repro.models.layers import farthest_point_sampling
 from repro.runtime import (
     BatchedBallQuery,
     MaterializeRequest,
+    SearchSession,
     SweepRunner,
     TracedBallQuery,
     VectorizedLockstep,
     reference_top_phase,
     vectorized_top_phase,
 )
+from repro.serve import QueryService
 
 pytestmark = pytest.mark.slow
 
@@ -58,6 +60,11 @@ LOCKSTEP_MIN_SPEEDUP = 5.0
 TOPPHASE_MIN_SPEEDUP = 5.0
 TRACED_MIN_SPEEDUP = 5.0
 EPOCH_FANOUT_MIN_SPEEDUP = 1.2
+# Small per-request batches are the serving regime coalescing exists for:
+# per-request sweep overhead dominates, so merging pays the most there.
+SERVE_REQUESTS = 128
+SERVE_QUERIES_PER_REQUEST = 8
+SERVE_MIN_SPEEDUP = 3.0
 
 
 def _best_of(repeats, fn):
@@ -193,6 +200,50 @@ def test_traced_engine_beats_per_query_trace_loop_on_4k_cloud(rng):
     assert speedup >= TRACED_MIN_SPEEDUP, (
         f"traced engine only {speedup:.2f}x faster "
         f"({ref_time:.3f}s loop vs {traced_time:.3f}s traced)"
+    )
+
+
+def test_coalesced_serving_beats_sequential_on_4k_cloud(rng):
+    # The full-size serving trace: a fleet of same-cloud callers with
+    # heterogeneous (radius, K) settings, coalesced into one merged
+    # frontier sweep versus served one request at a time.
+    pts = rng.normal(size=(N_POINTS, 3))
+    radii = (0.1, 0.15, 0.25)
+    neighbor_caps = (8, 16, 32)
+    trace = [
+        (
+            pts,
+            pts[rng.integers(0, N_POINTS, size=SERVE_QUERIES_PER_REQUEST)],
+            radii[i % len(radii)],
+            neighbor_caps[i % len(neighbor_caps)],
+        )
+        for i in range(SERVE_REQUESTS)
+    ]
+    session = SearchSession()
+    session.tree_for(pts)  # both sides serve against a warm tree
+
+    def coalesced():
+        service = QueryService(session=session)
+        tickets = [service.submit(*request) for request in trace]
+        service.flush()
+        return [ticket.result() for ticket in tickets], service.stats
+
+    def sequential():
+        service = QueryService(session=session)
+        return [service.query(*request) for request in trace]
+
+    coalesced()  # warm-up
+    sequential_time, sequential_results = _best_of(1, sequential)
+    coalesced_time, (coalesced_results, stats) = _best_of(3, coalesced)
+
+    for (ci, cc), (si, sc) in zip(coalesced_results, sequential_results):
+        np.testing.assert_array_equal(ci, si)
+        np.testing.assert_array_equal(cc, sc)
+    assert stats.sweeps == 1  # the whole trace merged into one sweep
+    speedup = sequential_time / coalesced_time
+    assert speedup >= SERVE_MIN_SPEEDUP, (
+        f"coalesced serving only {speedup:.2f}x faster "
+        f"({sequential_time:.3f}s sequential vs {coalesced_time:.3f}s coalesced)"
     )
 
 
