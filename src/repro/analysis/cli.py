@@ -7,6 +7,7 @@ Regenerates the paper's figures from the terminal without pytest::
     python -m repro.analysis.cli --workers 4     # fan across processes
     python -m repro.analysis.cli --list          # what's available
     python -m repro.analysis.cli serve           # serving-layer trace replay
+    python -m repro.analysis.cli serve --workers 4   # + sharded tier replay
 
 Figures are independent experiments, so ``--workers N`` fans them across
 ``N`` worker processes through :class:`repro.runtime.SweepRunner`; output
@@ -252,8 +253,15 @@ def _render_figure(fig: str) -> str:
 
 
 def _serve_main(argv: List[str]) -> int:
-    """The ``serve`` subcommand: synthetic request-trace replay."""
-    from ..serve import replay_trace, synthetic_trace
+    """The ``serve`` subcommand: synthetic request-trace replay.
+
+    ``--workers N`` (N >= 1) additionally replays the trace through the
+    sharded multi-process tier — distinct clouds registered by digest
+    handle up front, one flush fanned across N serving worker processes —
+    and reports its stats and result identity next to the single-process
+    coalescing numbers.
+    """
+    from ..serve import replay_trace, replay_trace_sharded, synthetic_trace
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.cli serve",
@@ -270,8 +278,14 @@ def _serve_main(argv: List[str]) -> int:
                         help="micro-batch submission window")
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--max-pending", type=int, default=256)
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="also replay through the sharded tier with N "
+                        "serving worker processes (default: skip)")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
 
     trace = synthetic_trace(
         num_requests=args.requests, num_clouds=args.clouds,
@@ -299,7 +313,28 @@ def _serve_main(argv: List[str]) -> int:
             ["results identical", str(report.results_identical)],
         ],
     ))
-    return 0 if report.results_identical else 1
+    ok = report.results_identical
+    if args.workers > 0:
+        sharded = replay_trace_sharded(trace, num_workers=args.workers)
+        sstats = sharded.stats
+        print()
+        print(format_table(
+            f"serve --workers {args.workers}: sharded multi-process tier",
+            ["metric", "value"],
+            [
+                ["worker shards", str(sharded.num_workers)],
+                ["merged sweeps", str(sstats.sweeps)],
+                ["coalesce factor", f"{sstats.coalesce_factor:.1f}x"],
+                ["failed requests", str(sstats.failed_requests)],
+                ["worker respawns", str(sstats.respawns)],
+                ["sharded wall time", f"{sharded.sharded_time:.3f} s"],
+                ["sequential wall time", f"{sharded.sequential_time:.3f} s"],
+                ["speedup vs sequential", f"{sharded.speedup:.2f}x"],
+                ["results identical", str(sharded.results_identical)],
+            ],
+        ))
+        ok = ok and sharded.results_identical
+    return 0 if ok else 1
 
 
 def main(argv: List[str] | None = None) -> int:

@@ -30,7 +30,9 @@ Four pieces, composable but independently usable:
   when a caller reuses a cache key with mutated points; sentinel-based
   misses so cached falsy values are never recomputed).
 - :class:`SweepRunner` — fans parameter sweeps across ``multiprocessing``
-  workers with deterministic, order-preserving results.
+  workers with deterministic, order-preserving results; its long-lived
+  promotion :class:`WorkerProcess` (mailbox + heartbeat + in-place
+  respawn) is what the sharded serving tier builds its workers on.
 - :mod:`~repro.runtime.network` — the network-level grid runtime behind
   ``PointCloudAccelerator.run_many``: per-cloud sampling plans shared
   across settings, and per-worker-process sessions so fan-out jobs stop
@@ -66,7 +68,7 @@ from .session import (
     tree_digest,
 )
 from .network import layer_sampling_plan, run_network_grid, worker_session
-from .sweep import SweepRunner
+from .sweep import SweepRunner, WorkerProcess
 from .topphase import reference_top_phase, vectorized_top_phase
 
 __all__ = [
@@ -94,6 +96,7 @@ __all__ = [
     "geometry_digest",
     "tree_digest",
     "SweepRunner",
+    "WorkerProcess",
     "reference_top_phase",
     "vectorized_top_phase",
 ]

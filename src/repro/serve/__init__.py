@@ -14,21 +14,50 @@ callers* rather than replaying figure grids.  Three layers:
   micro-batch flusher serves it; a submission window, a max-batch cut-off,
   and a bounded pending queue (backpressure) shape the batches; ``drain``
   serves everything queued and shuts down gracefully.
-- :func:`synthetic_trace` / :func:`replay_trace` — the request-trace
-  workload generator and replay harness behind ``python -m
-  repro.analysis.cli serve``.
+- :class:`ShardedQueryService` — the multi-process tier: a dispatcher
+  routes requests by geometry digest to N long-lived serving worker
+  processes (each running its own coalescing ``QueryService`` over a
+  long-lived session), with a ``register(points) -> handle`` API so
+  repeat callers skip re-shipping and re-hashing geometry, worker
+  heartbeats, dead-worker respawn, and orphaned-request requeue; results
+  stay bit-identical to the single-process service.  Per-shard stats
+  roll up into :class:`ShardedStats`.
+- :func:`synthetic_trace` / :func:`replay_trace` /
+  :func:`replay_trace_sharded` — the request-trace workload generator
+  and replay harnesses behind ``python -m repro.analysis.cli serve``.
 """
 
 from .frontend import AsyncQueryFrontend
-from .service import QueryService, QueryTicket, ServiceStats
-from .trace import TraceReport, replay_trace, synthetic_trace
+from .service import (
+    QueryService,
+    QueryTicket,
+    ServiceStats,
+    validate_points,
+    validate_queries,
+    validate_settings,
+)
+from .sharded import ShardedQueryService, ShardedStats
+from .trace import (
+    ShardedTraceReport,
+    TraceReport,
+    replay_trace,
+    replay_trace_sharded,
+    synthetic_trace,
+)
 
 __all__ = [
     "AsyncQueryFrontend",
     "QueryService",
     "QueryTicket",
     "ServiceStats",
+    "ShardedQueryService",
+    "ShardedStats",
+    "ShardedTraceReport",
     "TraceReport",
     "replay_trace",
+    "replay_trace_sharded",
     "synthetic_trace",
+    "validate_points",
+    "validate_queries",
+    "validate_settings",
 ]

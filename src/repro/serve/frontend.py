@@ -11,15 +11,23 @@ frontier sweeps — and resolves every waiting future with its request's
 
 ``max_pending`` bounds the number of in-flight requests: submits past the
 bound *await* until a flush drains space, so a burst of producers applies
-backpressure instead of growing the queue without limit.  ``drain()``
-(also run by ``async with``'s exit) stops accepting new work, serves
-everything still queued, and joins the flusher.
+backpressure instead of growing the queue without limit.  Parked
+submitters wait on individual one-shot futures in arrival order, and each
+flush wakes only as many as the capacity it actually freed (each woken
+submitter still re-checks before appending).  The broadcast
+``asyncio.Event`` this replaces had two races: one ``set()`` released
+*every* parked submitter at once, and the ``clear()``-then-``wait()``
+re-park could swallow a concurrent ``set()`` — a lost wakeup that left
+the last submitters parked forever.  ``drain()`` (also run by ``async
+with``'s exit) stops accepting new work, fails parked submitters fast,
+serves everything still queued, and joins the flusher.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,7 +76,7 @@ class AsyncQueryFrontend:
         self.max_pending = int(max_pending)
         self._waiters: List[Tuple[QueryTicket, asyncio.Future]] = []
         self._wake: Optional[asyncio.Event] = None
-        self._space: Optional[asyncio.Event] = None
+        self._space_waiters: Deque[asyncio.Future] = deque()
         self._flusher: Optional[asyncio.Task] = None
         self._closing = False
 
@@ -86,8 +94,7 @@ class AsyncQueryFrontend:
             raise RuntimeError("frontend already started")
         self._closing = False
         self._wake = asyncio.Event()
-        self._space = asyncio.Event()
-        self._space.set()
+        self._space_waiters = deque()
         self._flusher = asyncio.get_running_loop().create_task(self._run())
 
     async def drain(self) -> None:
@@ -96,7 +103,7 @@ class AsyncQueryFrontend:
             return
         self._closing = True
         self._wake.set()
-        self._space.set()  # release backpressured submitters to fail fast
+        self._release_space()  # wake backpressured submitters to fail fast
         await self._flusher
         self._flusher = None
 
@@ -121,8 +128,20 @@ class AsyncQueryFrontend:
                 "frontend not started (use 'async with' or await start())"
             )
         while not self._closing and len(self._waiters) >= self.max_pending:
-            self._space.clear()
-            await self._space.wait()
+            # Park on a private one-shot future: a flush wakes exactly as
+            # many parked submitters as the space it drained, and the loop
+            # re-checks capacity after every wake (another submitter — or
+            # a direct service caller — may have consumed it first).
+            space = asyncio.get_running_loop().create_future()
+            self._space_waiters.append(space)
+            try:
+                await space
+            finally:
+                if not space.done():  # cancelled while parked
+                    try:
+                        self._space_waiters.remove(space)
+                    except ValueError:
+                        pass
         if self._closing:
             raise RuntimeError("frontend is draining or closed; no new requests")
         ticket = self.service.submit(points, queries, radius, max_neighbors)
@@ -156,9 +175,24 @@ class AsyncQueryFrontend:
                     pass
                 self._wake.clear()
             self._flush_now()
-            self._space.set()
+            self._release_space()
             if self._closing and not self._waiters:
                 break
+
+    def _release_space(self) -> None:
+        """Wake parked submitters, at most one per unit of free capacity.
+
+        Waking exactly ``max_pending - len(waiters)`` submitters (in
+        arrival order) is what keeps a flush from releasing the whole
+        parked herd past the bound; during drain every parked submitter
+        is woken so it can observe ``_closing`` and fail fast.
+        """
+        free = self.max_pending - len(self._waiters)
+        while self._space_waiters and (free > 0 or self._closing):
+            space = self._space_waiters.popleft()
+            if not space.done():
+                space.set_result(None)
+                free -= 1
 
     def _flush_now(self) -> None:
         waiters, self._waiters = self._waiters, []

@@ -31,7 +31,47 @@ import numpy as np
 from ..runtime.batched import BatchedBallQuery
 from ..runtime.session import SearchSession, geometry_digest
 
-__all__ = ["QueryService", "QueryTicket", "ServiceStats"]
+__all__ = [
+    "QueryService",
+    "QueryTicket",
+    "ServiceStats",
+    "validate_points",
+    "validate_queries",
+    "validate_settings",
+]
+
+
+def validate_points(points: np.ndarray) -> np.ndarray:
+    """Validate one request's cloud: float64, ``(N >= 1, 3)``, finite.
+
+    Shared by :meth:`QueryService.submit` and the sharded dispatcher's
+    ``register``/``submit`` so a cloud rejected by one tier is rejected
+    identically by the other.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3 or len(points) == 0:
+        raise ValueError(f"points must be (N, 3) with N >= 1, got {points.shape}")
+    if not np.isfinite(points).all():
+        raise ValueError("points must be finite (no NaN/inf coordinates)")
+    return points
+
+
+def validate_queries(queries: np.ndarray) -> np.ndarray:
+    """Validate one request's query batch: float64, ``(M, 3)``, finite."""
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if queries.ndim != 2 or queries.shape[1] != 3:
+        raise ValueError(f"queries must be (M, 3), got {queries.shape}")
+    if not np.isfinite(queries).all():
+        raise ValueError("queries must be finite (no NaN/inf coordinates)")
+    return queries
+
+
+def validate_settings(radius: float, max_neighbors: int) -> None:
+    """Validate one request's ``(radius, K)`` setting."""
+    if not np.isfinite(radius) or radius <= 0:
+        raise ValueError("radius must be positive and finite")
+    if max_neighbors <= 0:
+        raise ValueError("max_neighbors must be positive")
 
 
 @dataclass
@@ -45,6 +85,7 @@ class ServiceStats:
     serve_time: float = 0.0  # wall-clock spent inside flush()
     wait_time: float = 0.0  # summed per-request submit-to-serve latency
     max_coalesced: int = 0  # most requests ever answered by one sweep
+    failed_requests: int = 0  # requests settled with an error instead of a result
 
     @property
     def coalesce_factor(self) -> float:
@@ -163,17 +204,13 @@ class QueryService:
 
         Validation happens here — a bad request must fail its caller at
         submit time, not poison the merged sweep it would have joined.
+        That includes non-finite coordinates and settings: a NaN query row
+        would error the whole merged sweep and settle every co-queued
+        same-cloud ticket with its exception.
         """
-        if radius <= 0:
-            raise ValueError("radius must be positive")
-        if max_neighbors <= 0:
-            raise ValueError("max_neighbors must be positive")
-        points = np.asarray(points, dtype=np.float64)
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if points.ndim != 2 or points.shape[1] != 3 or len(points) == 0:
-            raise ValueError(f"points must be (N, 3) with N >= 1, got {points.shape}")
-        if queries.ndim != 2 or queries.shape[1] != 3:
-            raise ValueError(f"queries must be (M, 3), got {queries.shape}")
+        validate_settings(radius, max_neighbors)
+        points = validate_points(points)
+        queries = validate_queries(queries)
         ticket = QueryTicket(float(radius), int(max_neighbors), self._clock())
         self._queue.append(
             _Pending(geometry_digest(points), points, queries, ticket)
@@ -181,16 +218,23 @@ class QueryService:
         return ticket
 
     def flush(self) -> int:
-        """Serve everything queued; returns the number of merged sweeps.
+        """Serve everything queued; returns the merged sweeps *executed*.
 
         Requests are grouped by geometry digest in arrival order; each
         group is answered by one merged frontier advance over the group's
         concatenated queries, then demuxed back onto the tickets.
+
+        A group whose sweep fails settles its tickets with the error and
+        executes nothing, so it contributes neither to the return value
+        nor to ``stats.sweeps`` — its requests are counted in
+        ``stats.failed_requests`` instead.  ``stats.flushes`` only counts
+        calls that served at least one request.
         """
         if not self._queue:
             return 0
         batch, self._queue = self._queue, []
         t0 = self._clock()
+        executed = 0
         groups: "OrderedDict[str, List[_Pending]]" = OrderedDict()
         for p in batch:
             groups.setdefault(p.digest, []).append(p)
@@ -219,6 +263,7 @@ class QueryService:
                 # tree), other groups still get served.
                 for p in members:
                     p.ticket.error = exc
+                self.stats.failed_requests += len(members)
                 continue
             now = self._clock()
             for p, (indices, counts) in zip(members, results):
@@ -230,9 +275,11 @@ class QueryService:
             self.stats.requests += len(members)
             self.stats.queries += int(sum(sizes))
             self.stats.max_coalesced = max(self.stats.max_coalesced, len(members))
-        self.stats.flushes += 1
+            executed += 1
+        if executed:
+            self.stats.flushes += 1
         self.stats.serve_time += self._clock() - t0
-        return len(groups)
+        return executed
 
     def query(
         self,

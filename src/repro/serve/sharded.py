@@ -1,0 +1,442 @@
+"""The sharded multi-process serving tier: dispatcher, shards, recovery.
+
+:class:`QueryService` + :class:`~repro.serve.AsyncQueryFrontend` coalesce
+brilliantly but live in one process behind one GIL: a flood of *distinct*
+clouds flushes its digest groups serially.  :class:`ShardedQueryService`
+is the horizontal promotion — a dispatcher in the caller's process routes
+every request **by geometry digest** to one of N long-lived serving
+worker processes (:mod:`repro.serve.worker`), each owning a shard of the
+registered clouds and serving its batches through its own in-process
+coalescing :class:`QueryService`.  Distinct clouds land on distinct
+shards and flush genuinely in parallel; same-cloud requests still land on
+the same shard and still coalesce into one merged sweep, so the sharded
+tier's results are bit-identical to the single-process service by
+construction (the sharded parity suite pins this).
+
+The ``register(points) -> handle`` API is the repeat-caller fast path: a
+registered cloud is shipped to its shard once and pinned in the worker's
+tree cache, after which submits for that cloud (by handle, or by points
+whose digest matches) carry only the query batch — no geometry re-ship,
+and no per-submit re-hash when the handle is used directly.
+
+Failure recovery follows the master/worker discipline of RD-MCL's worker
+suite: every worker carries a heartbeat (written by a side thread, so a
+long sweep still reads alive); the dispatcher's flush loop age-checks the
+heartbeat and process liveness of every shard it is waiting on, and a
+dead worker is respawned in place — its shard's registered clouds are
+re-shipped and its orphaned in-flight batches requeued onto the fresh
+incarnation.  Mailboxes are per-incarnation (a reply that raced the kill
+dies with the old outbox and the batch is simply served again —
+deterministic serving makes the do-over bit-identical), so a crashed
+worker can never poison a queue another shard depends on.  Per-shard
+:class:`~repro.serve.ServiceStats` roll up into :class:`ShardedStats`,
+which also counts respawns and requeues.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..runtime.session import geometry_digest
+from ..runtime.sweep import WorkerProcess
+from .service import (
+    QueryTicket,
+    ServiceStats,
+    validate_points,
+    validate_queries,
+    validate_settings,
+)
+from .worker import BEAT_INTERVAL, serving_worker_main
+
+__all__ = ["ShardedQueryService", "ShardedStats"]
+
+
+@dataclass
+class ShardedStats:
+    """Per-shard :class:`ServiceStats` plus tier-level recovery counters.
+
+    The per-shard entries are dispatcher-maintained (accumulated from
+    batch-reply deltas), so they survive worker respawns; aggregate
+    properties mirror the :class:`ServiceStats` names so tier-level code
+    can read either interchangeably.  ``serve_time`` sums *worker-side*
+    serve time across shards (total serving CPU, not wall clock — shards
+    serve in parallel); ``wait_time`` is dispatcher-measured
+    submit-to-settle latency, so it includes shipping and queueing.
+    """
+
+    shards: List[ServiceStats] = field(default_factory=list)
+    respawns: int = 0  # dead workers replaced with a fresh process
+    requeued_requests: int = 0  # orphaned in-flight requests re-dispatched
+
+    def _sum(self, attr: str) -> float:
+        return sum(getattr(s, attr) for s in self.shards)
+
+    @property
+    def requests(self) -> int:
+        return int(self._sum("requests"))
+
+    @property
+    def queries(self) -> int:
+        return int(self._sum("queries"))
+
+    @property
+    def sweeps(self) -> int:
+        return int(self._sum("sweeps"))
+
+    @property
+    def flushes(self) -> int:
+        return int(self._sum("flushes"))
+
+    @property
+    def failed_requests(self) -> int:
+        return int(self._sum("failed_requests"))
+
+    @property
+    def serve_time(self) -> float:
+        return float(self._sum("serve_time"))
+
+    @property
+    def wait_time(self) -> float:
+        return float(self._sum("wait_time"))
+
+    @property
+    def max_coalesced(self) -> int:
+        return max((s.max_coalesced for s in self.shards), default=0)
+
+    @property
+    def coalesce_factor(self) -> float:
+        return self.requests / self.sweeps if self.sweeps else 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        return self.wait_time / self.requests if self.requests else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Requests per second of summed worker serve time."""
+        return self.requests / self.serve_time if self.serve_time else 0.0
+
+
+class _PendingJob:
+    __slots__ = ("job_id", "digest", "points", "queries", "ticket")
+
+    def __init__(self, job_id, digest, points, queries, ticket):
+        self.job_id = job_id
+        self.digest = digest
+        self.points = points  # None once the digest is registered
+        self.queries = queries
+        self.ticket = ticket
+
+    def payload(self) -> Tuple:
+        t = self.ticket
+        return (
+            self.job_id,
+            self.digest,
+            self.points,
+            self.queries,
+            t.radius,
+            t.max_neighbors,
+        )
+
+
+class ShardedQueryService:
+    """Digest-sharded multi-process serving tier (see module docs).
+
+    Parameters
+    ----------
+    num_workers:
+        Serving worker processes (= shards).  Routing is static:
+        ``shard(digest) = int(digest[:16], 16) % num_workers``.
+    heartbeat_timeout:
+        Seconds without a heartbeat (or other sign of life) after which a
+        worker the flush is waiting on is declared dead and respawned;
+        ``None`` disables staleness checks and trusts process liveness
+        alone.  A SIGKILL-ed worker is caught by liveness immediately
+        either way.
+    poll_interval:
+        Result-queue poll timeout inside :meth:`flush`; also the cadence
+        of dead-worker checks while waiting.
+    clock:
+        Monotonic time source for the dispatcher-side latency stats
+        (injectable for tests, mirroring :class:`QueryService`).
+    ctx:
+        ``multiprocessing`` context override (platform default otherwise).
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        heartbeat_timeout: Optional[float] = 10.0,
+        poll_interval: float = 0.02,
+        beat_interval: float = BEAT_INTERVAL,
+        clock: Callable[[], float] = time.perf_counter,
+        ctx=None,
+    ):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive (or None)")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.num_workers = int(num_workers)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll_interval = float(poll_interval)
+        self.stats = ShardedStats(
+            shards=[ServiceStats() for _ in range(self.num_workers)]
+        )
+        self._clock = clock
+        import multiprocessing
+
+        self._ctx = ctx if ctx is not None else multiprocessing.get_context()
+        # One WorkerProcess per shard, each with its own per-incarnation
+        # inbox/outbox pair (a shared result queue would hang the whole
+        # tier if one worker died holding its write lock — see
+        # WorkerProcess's docs).
+        self._workers = [
+            WorkerProcess(
+                serving_worker_main,
+                args=(slot, beat_interval),
+                name=f"serve-shard-{slot}",
+                ctx=self._ctx,
+            )
+            for slot in range(self.num_workers)
+        ]
+        self._registered: Dict[str, np.ndarray] = {}
+        self._pending: List[_PendingJob] = []
+        self._job_ids = itertools.count()
+        self._batch_ids = itertools.count()
+        self._closed = False
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        try:
+            if exc_type is None:
+                self.flush()
+        finally:
+            self.close()
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet dispatched/served."""
+        return len(self._pending)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("sharded service is closed")
+
+    def _slot_for(self, digest: str) -> int:
+        return int(digest[:16], 16) % self.num_workers
+
+    # ------------------------------------------------------------------
+    def register(self, points: np.ndarray) -> str:
+        """Pin a cloud on its shard; returns its digest handle.
+
+        The cloud ships to the owning worker once (and its K-d tree is
+        built there eagerly), so subsequent submits — by handle, or by
+        points hashing to the same digest — carry only queries.
+        Registering the same cloud again is a no-op returning the same
+        handle.
+        """
+        self._check_open()
+        points = validate_points(points)
+        digest = geometry_digest(points)
+        if digest not in self._registered:
+            self._registered[digest] = points
+            slot = self._slot_for(digest)
+            self._ensure_alive(slot)
+            self._workers[slot].send(("register", digest, points))
+        return digest
+
+    def submit(
+        self,
+        points: np.ndarray,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+    ) -> QueryTicket:
+        """Queue one request by cloud; returns its ticket.
+
+        Validation happens here, exactly as in
+        :meth:`QueryService.submit` — a malformed or non-finite request
+        fails its own caller instead of travelling to a worker.
+        """
+        self._check_open()
+        points = validate_points(points)
+        digest = geometry_digest(points)
+        ship = None if digest in self._registered else points
+        return self._enqueue(digest, ship, queries, radius, max_neighbors)
+
+    def submit_handle(
+        self,
+        handle: str,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+    ) -> QueryTicket:
+        """Queue one request against a :meth:`register`-ed cloud handle.
+
+        The repeat-caller fast path: no geometry accompanies the request
+        and nothing is re-hashed.
+        """
+        self._check_open()
+        if handle not in self._registered:
+            raise KeyError(f"unknown cloud handle {handle!r}; register() it first")
+        return self._enqueue(handle, None, queries, radius, max_neighbors)
+
+    def _enqueue(self, digest, points, queries, radius, max_neighbors) -> QueryTicket:
+        validate_settings(radius, max_neighbors)
+        queries = validate_queries(queries)
+        ticket = QueryTicket(float(radius), int(max_neighbors), self._clock())
+        self._pending.append(
+            _PendingJob(next(self._job_ids), digest, points, queries, ticket)
+        )
+        return ticket
+
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Serve everything queued; returns the merged sweeps executed.
+
+        Pending requests are grouped by shard and dispatched as one batch
+        message per shard; the shards serve their batches concurrently
+        while this loop demuxes replies onto tickets as they arrive.  If
+        a worker dies mid-flush its shard is respawned, re-registered,
+        and its orphaned batches requeued — the flush still settles every
+        ticket.
+        """
+        self._check_open()
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        by_slot: Dict[int, List[_PendingJob]] = {}
+        for job in batch:
+            by_slot.setdefault(self._slot_for(job.digest), []).append(job)
+        outstanding: Dict[int, Tuple[int, List[_PendingJob]]] = {}
+        for slot, jobs in by_slot.items():
+            self._ensure_alive(slot)
+            batch_id = next(self._batch_ids)
+            outstanding[batch_id] = (slot, jobs)
+            self._workers[slot].send(
+                ("batch", batch_id, [job.payload() for job in jobs])
+            )
+        executed = 0
+        while outstanding:
+            # Round-robin the shards we are waiting on, splitting the
+            # poll budget between their (per-incarnation) outboxes; a
+            # full quiet round triggers the dead-worker sweep.
+            waiting = sorted({slot for slot, _ in outstanding.values()})
+            progressed = False
+            for slot in waiting:
+                try:
+                    message = self._workers[slot].receive(
+                        timeout=self.poll_interval / len(waiting)
+                    )
+                except queue.Empty:
+                    continue
+                except (OSError, ValueError, RuntimeError):
+                    continue  # outbox torn down under us (racing kill)
+                if not message or message[0] != "result":
+                    continue
+                _, _, batch_id, results, delta = message
+                entry = outstanding.pop(batch_id, None)
+                if entry is None:
+                    continue  # stale reply for an already-settled batch
+                progressed = True
+                executed += self._settle(entry[0], entry[1], results, delta)
+            if not progressed and outstanding:
+                self._recover_dead(outstanding)
+        return executed
+
+    def _settle(self, slot, jobs, results, delta) -> int:
+        """Demux one batch reply onto tickets; fold into per-shard stats."""
+        now = self._clock()
+        shard = self.stats.shards[slot]
+        jobs_by_id = {job.job_id: job for job in jobs}
+        served = 0
+        for job_id, indices, counts, error in results:
+            job = jobs_by_id.get(job_id)
+            if job is None:
+                continue
+            ticket = job.ticket
+            if error is not None:
+                ticket.error = error
+                shard.failed_requests += 1
+            else:
+                ticket.indices = indices
+                ticket.counts = counts
+                ticket.served_at = now
+                shard.wait_time += now - ticket.submitted_at
+                shard.requests += 1
+                shard.queries += len(job.queries)
+                served += 1
+        shard.sweeps += delta["sweeps"]
+        shard.serve_time += delta["serve_time"]
+        shard.max_coalesced = max(shard.max_coalesced, delta["max_coalesced"])
+        if served:
+            shard.flushes += 1
+        return int(delta["sweeps"])
+
+    # ------------------------------------------------------------------
+    def _worker_ok(self, slot: int) -> bool:
+        worker = self._workers[slot]
+        if not worker.is_alive():
+            return False
+        if self.heartbeat_timeout is not None:
+            return worker.heartbeat_age() < self.heartbeat_timeout
+        return True
+
+    def _ensure_alive(self, slot: int) -> None:
+        """Respawn a shard found dead *between* flushes (no requeue needed)."""
+        if not self._worker_ok(slot):
+            self._respawn(slot)
+
+    def _respawn(self, slot: int) -> None:
+        self.stats.respawns += 1
+        self._workers[slot].respawn()
+        # Rebuild the fresh incarnation's shard state: every registered
+        # cloud this shard owns is re-shipped (inbox FIFO guarantees the
+        # re-registrations land before any requeued batch).
+        for digest, points in self._registered.items():
+            if self._slot_for(digest) == slot:
+                self._workers[slot].send(("register", digest, points))
+
+    def _recover_dead(self, outstanding: Dict[int, Tuple[int, List[_PendingJob]]]) -> None:
+        """Respawn dead shards we are waiting on; requeue their batches."""
+        waiting_on = {slot for slot, _ in outstanding.values()}
+        for slot in waiting_on:
+            if self._worker_ok(slot):
+                continue
+            self._respawn(slot)
+            for batch_id, (owner, jobs) in outstanding.items():
+                if owner != slot:
+                    continue
+                self.stats.requeued_requests += len(jobs)
+                self._workers[slot].send(
+                    ("batch", batch_id, [job.payload() for job in jobs])
+                )
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker (gracefully, then by force) and tear down.
+
+        Pending unflushed requests are settled with an error so no caller
+        blocks on a ticket that can never be served.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for job in self._pending:
+            job.ticket.error = RuntimeError("sharded service closed before flush")
+        self._pending = []
+        for worker in self._workers:
+            worker.stop(timeout=timeout)

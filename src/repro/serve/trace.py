@@ -12,7 +12,10 @@ requests with different settings, interleaved across clouds).
 concurrently through the :class:`~repro.serve.AsyncQueryFrontend`, then
 one at a time through a fresh sequential service — verifies the two
 result streams are bit-identical, and reports the serving stats plus the
-wall-clock speedup of coalescing.
+wall-clock speedup of coalescing.  :func:`replay_trace_sharded` does the
+same for the multi-process tier: distinct clouds registered up front (the
+handle fast path), the whole trace flushed through N worker shards, and
+the result stream checked bit-identical against sequential serving.
 """
 
 from __future__ import annotations
@@ -27,7 +30,13 @@ import numpy as np
 from .frontend import AsyncQueryFrontend
 from .service import QueryService, ServiceStats
 
-__all__ = ["TraceReport", "replay_trace", "synthetic_trace"]
+__all__ = [
+    "ShardedTraceReport",
+    "TraceReport",
+    "replay_trace",
+    "replay_trace_sharded",
+    "synthetic_trace",
+]
 
 Request = Tuple[np.ndarray, np.ndarray, float, int]
 
@@ -119,6 +128,71 @@ def replay_trace(
         stats=service.stats,
         requests=len(trace),
         coalesced_time=coalesced_time,
+        sequential_time=sequential_time,
+        results_identical=identical,
+    )
+
+
+@dataclass
+class ShardedTraceReport:
+    """What one multi-process replay measured."""
+
+    stats: "ShardedStats"  # the sharded tier's rolled-up counters
+    requests: int
+    num_workers: int
+    sharded_time: float  # wall clock, whole trace through the sharded tier
+    sequential_time: float  # wall clock, one flush per request, one process
+    results_identical: bool  # sharded stream == sequential stream
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.sequential_time / self.sharded_time
+            if self.sharded_time
+            else float("inf")
+        )
+
+
+def replay_trace_sharded(trace: List[Request], num_workers: int = 2) -> ShardedTraceReport:
+    """Replay ``trace`` through the sharded tier; compare against sequential.
+
+    Every distinct cloud is :meth:`~repro.serve.ShardedQueryService.
+    register`-ed first (shipping geometry and warming worker-side trees up
+    front, as a repeat caller would), so the timed section measures the
+    handle fast path: query shipping, parallel per-shard merged sweeps,
+    and result demux.  The sequential side gets the same courtesy — a
+    warm tree cache — to keep the comparison about serving, not builds.
+    """
+    from .sharded import ShardedQueryService
+
+    sequential_service = QueryService()
+    for points, *_ in trace:
+        sequential_service.session.tree_for(points)
+    t0 = time.perf_counter()
+    sequential = [sequential_service.query(*request) for request in trace]
+    sequential_time = time.perf_counter() - t0
+
+    with ShardedQueryService(num_workers=num_workers) as service:
+        handles = [service.register(points) for points, *_ in trace]
+        t0 = time.perf_counter()
+        tickets = [
+            service.submit_handle(handle, queries, radius, max_neighbors)
+            for handle, (_, queries, radius, max_neighbors) in zip(handles, trace)
+        ]
+        service.flush()
+        results = [ticket.result() for ticket in tickets]
+        sharded_time = time.perf_counter() - t0
+        stats = service.stats
+
+    identical = all(
+        np.array_equal(gi, si) and np.array_equal(gc, sc)
+        for (gi, gc), (si, sc) in zip(results, sequential)
+    )
+    return ShardedTraceReport(
+        stats=stats,
+        requests=len(trace),
+        num_workers=num_workers,
+        sharded_time=sharded_time,
         sequential_time=sequential_time,
         results_identical=identical,
     )

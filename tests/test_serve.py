@@ -288,6 +288,8 @@ class TestQueryService:
         assert not ticket.done
         with pytest.raises(RuntimeError):
             ticket.result()
+        with pytest.raises(RuntimeError, match="not served"):
+            ticket.wait
         service.flush()
         assert ticket.done and ticket.wait >= 0
 
@@ -305,6 +307,26 @@ class TestQueryService:
         with pytest.raises(ValueError):
             service.submit(np.zeros((4, 2)), pts[:2], 0.5, 4)
         assert service.pending == 0  # bad requests never enter the queue
+
+    def test_submit_rejects_nonfinite_inputs(self, rng):
+        # A NaN query row would error the whole merged sweep it joined,
+        # settling every co-queued same-cloud ticket with its exception —
+        # so non-finite values must fail their own caller at submit time.
+        service = QueryService()
+        pts = rng.normal(size=(20, 3))
+        nan_pts = pts.copy()
+        nan_pts[3, 1] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            service.submit(nan_pts, pts[:2], 0.5, 4)
+        inf_queries = pts[:4].copy()
+        inf_queries[2, 0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            service.submit(pts, inf_queries, 0.5, 4)
+        with pytest.raises(ValueError, match="radius"):
+            service.submit(pts, pts[:2], float("nan"), 4)
+        with pytest.raises(ValueError, match="radius"):
+            service.submit(pts, pts[:2], float("inf"), 4)
+        assert service.pending == 0
 
     def test_failing_group_does_not_strand_other_groups(self, rng):
         # A request whose cloud cannot be served (here: a tree deeper than
@@ -328,6 +350,41 @@ class TestQueryService:
         with pytest.raises(ValueError, match="DFS-rank depth limit"):
             bad.result()
         want_idx, want_cnt = ball_query(build_kdtree(pts), pts[:4], 0.3, 4)
+        np.testing.assert_array_equal(good.result()[0], want_idx)
+        np.testing.assert_array_equal(good.result()[1], want_cnt)
+        assert service.stats.failed_requests == 1
+        assert service.stats.requests == 1  # only the served request counts
+        assert service.flush() == 0  # the failed ticket was settled, not requeued
+
+    def test_all_failed_flush_reports_zero_sweeps(self, rng):
+        # Every queued request fails (one poisoned cloud group): the flush
+        # executed nothing, so it returns 0, counts no flush and no sweep,
+        # and books every member under failed_requests — then the service
+        # keeps serving later good requests as if nothing happened.
+        from repro.runtime.session import geometry_digest
+
+        service = QueryService()
+        pts = rng.normal(size=(50, 3))
+        tickets = [service.submit(pts, pts[: 2 + i], 0.3, 4) for i in range(3)]
+        service.session.trees.put(
+            geometry_digest(np.asarray(pts, dtype=np.float64)),
+            linear_chain_tree(60),
+        )
+        assert service.flush() == 0
+        assert service.stats.flushes == 0
+        assert service.stats.sweeps == 0
+        assert service.stats.requests == 0
+        assert service.stats.failed_requests == 3
+        for ticket in tickets:
+            assert ticket.done and ticket.error is not None
+        # The session cache still holds the poisoned tree for this digest,
+        # so recover with a different cloud: the service itself is healthy.
+        other = pts + 5.0
+        good = service.submit(other, other[:4], 0.3, 4)
+        assert service.flush() == 1
+        assert service.stats.flushes == 1
+        assert good.error is None
+        want_idx, want_cnt = ball_query(build_kdtree(other), other[:4], 0.3, 4)
         np.testing.assert_array_equal(good.result()[0], want_idx)
         np.testing.assert_array_equal(good.result()[1], want_cnt)
 
@@ -407,6 +464,59 @@ class TestAsyncFrontend:
         assert stats.max_coalesced <= 2
         assert stats.flushes >= 5
 
+    def test_backpressure_never_overshoots_the_bound(self, rng):
+        # The broadcast-Event wakeup this replaces released *every* parked
+        # submitter on one flush, so a burst could overshoot max_pending.
+        # Spy on the underlying service.submit to observe the queue depth
+        # at every admission: it must never exceed the bound.
+        pts = rng.normal(size=(60, 3))
+        depths = []
+
+        async def main():
+            async with AsyncQueryFrontend(
+                window=0.0, max_batch=4, max_pending=4
+            ) as frontend:
+                inner_submit = frontend.service.submit
+
+                def spying_submit(*args, **kwargs):
+                    depths.append(frontend.pending)
+                    return inner_submit(*args, **kwargs)
+
+                frontend.service.submit = spying_submit
+                results = await asyncio.gather(
+                    *[frontend.submit(pts, pts[:2], 0.3, 4) for _ in range(30)]
+                )
+                return results
+
+        results = run(main())
+        assert len(results) == 30 and len(depths) == 30
+        # frontend.pending at admission time is the depth *before* this
+        # request joins, so the bound is max_pending - 1.
+        assert max(depths) <= 3
+
+    def test_backpressured_submitters_all_complete_under_timeout(self, rng):
+        # Regression for the lost-wakeup race: _space.clear() before
+        # wait() could swallow a concurrent set(), parking the last
+        # submitters forever.  With many more submitters than capacity,
+        # every one must still complete promptly.
+        pts = rng.normal(size=(40, 3))
+
+        async def main():
+            async with AsyncQueryFrontend(
+                window=0.0, max_batch=2, max_pending=2
+            ) as frontend:
+                return await asyncio.wait_for(
+                    asyncio.gather(
+                        *[frontend.submit(pts, pts[:2], 0.3, 4) for _ in range(40)]
+                    ),
+                    timeout=60.0,
+                )
+
+        results = run(main())
+        assert len(results) == 40
+        for indices, counts in results:
+            assert indices.shape == (2, 4)
+
     def test_drain_serves_queue_then_rejects(self, rng):
         pts = rng.normal(size=(60, 3))
 
@@ -427,6 +537,38 @@ class TestAsyncFrontend:
         results = run(main())
         assert len(results) == 3
         for indices, counts in results:
+            assert indices.shape == (2, 4)
+
+    def test_drain_fails_parked_submitters_fast(self, rng):
+        # Submitters parked on backpressure when drain() lands must be
+        # woken and failed immediately — not left awaiting space that a
+        # draining frontend will never free for them.
+        pts = rng.normal(size=(60, 3))
+
+        async def main():
+            frontend = AsyncQueryFrontend(
+                window=30.0, max_batch=64, max_pending=64
+            )
+            await frontend.start()
+            submits = [
+                asyncio.ensure_future(frontend.submit(pts, pts[:2], 0.3, 4))
+                for _ in range(70)  # 64 queue, 6 park on backpressure
+            ]
+            await asyncio.sleep(0)
+            assert frontend.pending == 64
+            await asyncio.wait_for(frontend.drain(), timeout=60.0)
+            return await asyncio.gather(*submits, return_exceptions=True)
+
+        outcomes = run(main())
+        served = [o for o in outcomes if not isinstance(o, Exception)]
+        failed = [o for o in outcomes if isinstance(o, Exception)]
+        # The 64 queued requests are served by the drain flush; the 6
+        # parked ones fail fast with the draining error.
+        assert len(served) == 64 and len(failed) == 6
+        for outcome in failed:
+            assert isinstance(outcome, RuntimeError)
+            assert "draining" in str(outcome)
+        for indices, counts in served:
             assert indices.shape == (2, 4)
 
     def test_submit_before_start_raises(self, rng):

@@ -1,0 +1,310 @@
+"""Sharded multi-process serving tier: parity, recovery, and stats suite.
+
+The sharded tier's one hard contract mirrors the single-process service:
+every result a worker shard demuxes must be bit-identical to serving the
+request alone (and therefore to the single-process ``QueryService``, whose
+parity the serving suite already pins).  On top of that this suite
+exercises what only the multi-process tier has: the ``register`` digest
+handle fast path, the per-shard stats roll-up, and — RD-MCL style — a
+worker killed mid-flush being detected, respawned, re-registered, and its
+orphaned requests requeued, with the flush still settling every ticket.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.kdtree import build_kdtree
+from repro.runtime import BatchedBallQuery, WorkerProcess
+from repro.serve import (
+    QueryService,
+    ShardedQueryService,
+    replay_trace_sharded,
+    synthetic_trace,
+)
+
+
+def assert_ticket_parity(requests, tickets):
+    """Every settled ticket equals its request served alone."""
+    for (points, queries, radius, k), ticket in zip(requests, tickets):
+        got_idx, got_cnt = ticket.result()
+        engine = BatchedBallQuery(build_kdtree(points))
+        want_idx, want_cnt = engine.query(queries, radius, k)
+        np.testing.assert_array_equal(got_idx, want_idx)
+        np.testing.assert_array_equal(got_cnt, want_cnt)
+
+
+def draw_requests(rng, clouds, n_requests, max_queries=30):
+    requests = []
+    for _ in range(n_requests):
+        cloud = clouds[int(rng.integers(len(clouds)))]
+        m = int(rng.integers(1, max_queries))
+        queries = cloud[rng.integers(0, len(cloud), size=m)] + rng.normal(
+            scale=0.05, size=(m, 3)
+        )
+        requests.append(
+            (cloud, queries, float(rng.uniform(0.1, 0.5)), int(rng.integers(1, 17)))
+        )
+    return requests
+
+
+class TestShardedParity:
+    def test_randomized_mixed_cloud_parity(self, test_seed):
+        # The acceptance criterion: randomized mixed-cloud traces served
+        # by the sharded tier are bit-identical to the single-process
+        # service (same trace, same arrival order).
+        for offset in range(2):
+            rng = np.random.default_rng(test_seed + offset)
+            clouds = [
+                rng.normal(size=(int(rng.integers(50, 200)), 3)) for _ in range(4)
+            ]
+            clouds.append(clouds[0].copy())  # duplicate content, one digest
+            requests = draw_requests(rng, clouds, n_requests=14)
+            single = QueryService()
+            single_tickets = [single.submit(*r) for r in requests]
+            single.flush()
+            with ShardedQueryService(num_workers=2) as sharded:
+                tickets = [sharded.submit(*r) for r in requests]
+                sharded.flush()
+                for st, t in zip(single_tickets, tickets):
+                    np.testing.assert_array_equal(st.result()[0], t.result()[0])
+                    np.testing.assert_array_equal(st.result()[1], t.result()[1])
+            assert_ticket_parity(requests, tickets)
+
+    def test_same_cloud_requests_still_coalesce_on_their_shard(self, rng):
+        pts = rng.normal(size=(100, 3))
+        with ShardedQueryService(num_workers=3) as service:
+            tickets = [
+                service.submit(pts, pts[: 3 + i], 0.2 + 0.05 * i, 2 + i)
+                for i in range(6)
+            ]
+            assert service.pending == 6
+            assert service.flush() == 1  # one merged sweep, one shard
+            assert service.pending == 0
+        assert service.stats.sweeps == 1
+        assert service.stats.requests == 6
+        assert service.stats.max_coalesced == 6
+        assert service.stats.coalesce_factor == 6.0
+        # exactly one shard did all the work
+        active = [s for s in service.stats.shards if s.requests]
+        assert len(active) == 1 and active[0].flushes == 1
+        assert_ticket_parity(
+            [(pts, pts[: 3 + i], 0.2 + 0.05 * i, 2 + i) for i in range(6)], tickets
+        )
+
+
+class TestRegisterHandles:
+    def test_register_returns_stable_digest_handle(self, rng):
+        pts = rng.normal(size=(80, 3))
+        with ShardedQueryService(num_workers=2) as service:
+            handle = service.register(pts)
+            assert service.register(pts.copy()) == handle  # content-keyed
+            ticket = service.submit_handle(handle, pts[:5], 0.3, 4)
+            service.flush()
+            assert_ticket_parity([(pts, pts[:5], 0.3, 4)], [ticket])
+
+    def test_submit_by_points_uses_registered_handle(self, rng):
+        # A submit whose points hash to a registered digest must ship no
+        # geometry (the job payload carries None).
+        pts = rng.normal(size=(80, 3))
+        with ShardedQueryService(num_workers=2) as service:
+            service.register(pts)
+            service.submit(pts, pts[:4], 0.3, 4)
+            assert service._pending[0].points is None
+            unregistered = pts + 3.0
+            service.submit(unregistered, pts[:4], 0.3, 4)
+            assert service._pending[1].points is not None
+            assert service.flush() == 2
+
+    def test_unknown_handle_rejected_at_dispatch(self, rng):
+        with ShardedQueryService(num_workers=2) as service:
+            with pytest.raises(KeyError, match="register"):
+                service.submit_handle("deadbeef" * 4, np.zeros((1, 3)), 0.3, 4)
+            assert service.pending == 0
+
+    def test_register_validates_like_submit(self, rng):
+        with ShardedQueryService(num_workers=2) as service:
+            with pytest.raises(ValueError):
+                service.register(np.zeros((0, 3)))
+            bad = np.ones((10, 3))
+            bad[3, 1] = np.nan
+            with pytest.raises(ValueError, match="finite"):
+                service.register(bad)
+
+    def test_dispatcher_validation_mirrors_single_process(self, rng):
+        pts = rng.normal(size=(30, 3))
+        nan_queries = np.zeros((2, 3))
+        nan_queries[1, 0] = np.inf
+        with ShardedQueryService(num_workers=2) as service:
+            for args in [
+                (pts, pts[:2], -0.5, 4),
+                (pts, pts[:2], np.nan, 4),
+                (pts, pts[:2], 0.5, 0),
+                (pts, nan_queries, 0.5, 4),
+            ]:
+                with pytest.raises(ValueError):
+                    service.submit(*args)
+            assert service.pending == 0  # bad requests never enqueue
+
+
+class TestDeadWorkerRecovery:
+    def test_worker_killed_mid_flush_is_respawned_and_requeued(self, rng):
+        # The RD-MCL discipline end to end: park shard 0 in a long sleep
+        # so its dispatched batch sits unanswered, SIGKILL it mid-flush,
+        # and require the dispatcher to respawn the shard, re-register its
+        # clouds, requeue the orphaned requests, and settle every ticket
+        # with results bit-identical to serving each request alone.
+        with ShardedQueryService(num_workers=2, poll_interval=0.02) as service:
+            by_slot = {0: [], 1: []}
+            while min(len(v) for v in by_slot.values()) < 2:
+                cloud = rng.normal(size=(60, 3))
+                by_slot[service._slot_for(service.register(cloud))].append(cloud)
+            clouds = by_slot[0] + by_slot[1]
+            requests = [(c, c[:5], 0.3, 4) for c in clouds for _ in range(2)]
+            tickets = [service.submit(*r) for r in requests]
+            service._workers[0].send(("sleep", 60.0))
+            killer = threading.Timer(0.3, service._workers[0].kill)
+            killer.start()
+            try:
+                service.flush()
+            finally:
+                killer.cancel()
+            assert service.stats.respawns == 1
+            assert service.stats.requeued_requests == 2 * len(by_slot[0])
+            assert all(t.done for t in tickets)
+            assert_ticket_parity(requests, tickets)
+            # The fresh incarnation owns its re-registered clouds: a
+            # handle-only submit for a slot-0 cloud must serve cleanly.
+            again = service.submit(clouds[0], clouds[0][:3], 0.25, 4)
+            assert service._pending[0].points is None
+            service.flush()
+            assert again.error is None
+            assert_ticket_parity([(clouds[0], clouds[0][:3], 0.25, 4)], [again])
+        assert service.stats.failed_requests == 0
+
+    def test_worker_dead_between_flushes_is_respawned_on_dispatch(self, rng):
+        pts = rng.normal(size=(50, 3))
+        with ShardedQueryService(num_workers=1, poll_interval=0.02) as service:
+            handle = service.register(pts)
+            first = service.submit_handle(handle, pts[:4], 0.3, 4)
+            service.flush()
+            assert first.error is None
+            service._workers[0].kill()
+            second = service.submit_handle(handle, pts[:6], 0.2, 8)
+            service.flush()  # dispatch-time liveness check respawns
+            assert service.stats.respawns == 1
+            assert service.stats.requeued_requests == 0  # nothing in flight
+            assert_ticket_parity([(pts, pts[:6], 0.2, 8)], [second])
+
+
+class TestShardedLifecycleAndStats:
+    def test_stats_rollup_across_shards(self, rng):
+        clouds = [rng.normal(size=(60, 3)) for _ in range(5)]
+        requests = [(c, c[:4], 0.3, 4) for c in clouds for _ in range(2)]
+        with ShardedQueryService(num_workers=2) as service:
+            tickets = [service.submit(*r) for r in requests]
+            executed = service.flush()
+        stats = service.stats
+        assert executed == 5  # one merged sweep per distinct cloud
+        assert stats.sweeps == 5
+        assert stats.requests == 10
+        assert stats.queries == 40
+        assert stats.coalesce_factor == 2.0
+        assert stats.max_coalesced == 2
+        assert stats.failed_requests == 0
+        assert stats.mean_wait > 0 and stats.wait_time > 0
+        assert stats.serve_time > 0 and stats.throughput > 0
+        assert len(stats.shards) == 2
+        assert sum(s.requests for s in stats.shards) == 10
+        assert all(t.done for t in tickets)
+
+    def test_flush_empty_is_noop_and_close_is_idempotent(self):
+        service = ShardedQueryService(num_workers=1)
+        assert service.flush() == 0
+        service.close()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(np.zeros((4, 3)), np.zeros((1, 3)), 0.3, 4)
+        with pytest.raises(RuntimeError, match="closed"):
+            service.flush()
+
+    def test_close_settles_undispatched_tickets(self, rng):
+        pts = rng.normal(size=(30, 3))
+        service = ShardedQueryService(num_workers=1)
+        ticket = service.submit(pts, pts[:2], 0.3, 4)
+        service.close()
+        assert ticket.done and ticket.error is not None
+        with pytest.raises(RuntimeError, match="closed before flush"):
+            ticket.result()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardedQueryService(num_workers=0)
+        with pytest.raises(ValueError):
+            ShardedQueryService(num_workers=1, heartbeat_timeout=0)
+        with pytest.raises(ValueError):
+            ShardedQueryService(num_workers=1, poll_interval=0)
+
+
+class TestShardedTraceReplay:
+    def test_sharded_replay_is_identical(self):
+        trace = synthetic_trace(
+            num_requests=16, num_clouds=3, cloud_size=128,
+            queries_per_request=8, seed=5,
+        )
+        report = replay_trace_sharded(trace, num_workers=2)
+        assert report.results_identical
+        assert report.requests == 16
+        assert report.num_workers == 2
+        assert report.stats.requests == 16
+        assert report.stats.failed_requests == 0
+        assert report.stats.coalesce_factor > 1.0
+        assert report.speedup > 0
+
+
+def _echo_worker(inbox, outbox, heartbeat):
+    """Module-level worker target for the WorkerProcess lifecycle test."""
+    import queue as queue_mod
+    import time as time_mod
+
+    heartbeat.value = time_mod.monotonic()
+    while True:
+        try:
+            message = inbox.get(timeout=0.05)
+        except queue_mod.Empty:
+            heartbeat.value = time_mod.monotonic()
+            continue
+        if message[0] == "stop":
+            break
+        outbox.put(("echo", message))
+        heartbeat.value = time_mod.monotonic()
+
+
+class TestWorkerProcess:
+    def test_lifecycle_heartbeat_and_respawn(self):
+        worker = WorkerProcess(_echo_worker, name="echo")
+        assert not worker.is_alive()
+        assert worker.heartbeat_age() == float("inf")
+        worker.start()
+        try:
+            assert worker.is_alive()
+            assert worker.generation == 1
+            assert worker.heartbeat_age() < 10.0  # spawn counts as a beat
+            worker.send(("ping", 1))
+            assert worker.receive(timeout=10.0) == ("echo", ("ping", 1))
+            with pytest.raises(RuntimeError, match="already running"):
+                worker.start()
+            worker.kill()
+            assert not worker.is_alive()
+            worker.respawn()
+            assert worker.is_alive() and worker.generation == 2
+            worker.send(("ping", 2))
+            # The respawn must survive the nastiest kill timing: the old
+            # incarnation died microseconds after a put, possibly holding
+            # its outbox write lock — which is exactly why mailboxes are
+            # per-incarnation and this receive cannot deadlock.
+            assert worker.receive(timeout=10.0) == ("echo", ("ping", 2))
+        finally:
+            worker.stop()
+        assert not worker.is_alive()
