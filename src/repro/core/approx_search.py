@@ -263,6 +263,7 @@ def approximate_ball_query(
         np.nonzero(inverse == root_pos)[0] for root_pos in range(len(uniq_roots))
     ]
     if engine == "vector":
+        # repro: allow[reference-freeze] -- explicit engine routing: only the engine="vector" branch touches this import; the engine="reference" path below stays per-step and never loads the vectorized machine
         from ..runtime.lockstep import VectorizedLockstep
 
         vls = VectorizedLockstep(tree, banking=banking, num_pes=num_pes)

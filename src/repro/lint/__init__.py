@@ -1,0 +1,61 @@
+"""repro-lint: the repo's concurrency & determinism contracts as a CI gate.
+
+Six PRs of bug history distilled into machine-checked invariants.  Each
+rule encodes a contract that was established by fixing a real bug and was
+previously enforced only by reviewer memory:
+
+* ``reference-freeze`` — the per-step reference engines are the ground
+  truth the equivalence suites pin the vectorized engines against; they
+  must never import the engines they validate (ROADMAP standing
+  constraint).
+* ``cache-truthiness`` — ``LruCache.get()`` results must be miss-tested
+  with an unambiguous sentinel, never truthiness (the PR 2 falsy-miss
+  bug: a cached ``None``/``0`` recomputed forever).
+* ``shared-default-rng`` — layers must not bake a constant-seeded
+  generator into ``__init__``/class bodies (the PR 5 Dropout bug:
+  stacked layers drawing identical mask streams).
+* ``asyncio-discipline`` — no blocking primitives inside ``async def``,
+  and no ``Event.clear()``-then-``await wait()`` re-park (the PR 6
+  lost-wakeup race).
+* ``wall-clock-injection`` — serving/runtime code reads time through an
+  injectable clock parameter, so timing-derived behavior stays
+  deterministic under test.
+* ``finite-input-validation`` — public serving entry points validate
+  points/queries/radius before touching the arrays (a NaN row would
+  poison a whole merged sweep).
+* ``broad-except`` (warn-only) — new ``except Exception`` handlers get
+  flagged; load-bearing ones carry a written justification pragma.
+
+Run it::
+
+    python -m repro.lint src/            # exit 1 on violations
+    python -m repro.lint --list-rules
+    python -m repro.lint src/ --format json
+
+Suppress one finding with a trailing (or immediately preceding
+standalone) pragma carrying a written reason::
+
+    from ..runtime.lockstep import X  # repro: allow[reference-freeze] -- why
+
+A pragma without a reason, or one that suppresses nothing, is itself an
+error — suppressions cannot silently rot.
+"""
+
+from .engine import ERROR, WARNING, Finding, LintReport, ModuleContext, Rule, lint_paths
+from .pragmas import Pragma, scan_pragmas
+from .rules import ALL_RULES, ENGINE_RULE_IDS, all_rule_ids
+
+__all__ = [
+    "ALL_RULES",
+    "ENGINE_RULE_IDS",
+    "ERROR",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Pragma",
+    "Rule",
+    "WARNING",
+    "all_rule_ids",
+    "lint_paths",
+    "scan_pragmas",
+]

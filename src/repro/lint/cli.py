@@ -1,0 +1,110 @@
+"""Command-line front door: ``python -m repro.lint [paths] [options]``.
+
+Exit status is the CI contract: 0 when no error-severity finding
+survives suppression, 1 otherwise (warnings — e.g. ``broad-except`` —
+print but do not fail the build).  ``--format json`` emits a stable
+machine-readable report (schema pinned by ``tests/test_lint_engine.py``)
+for tooling; ``--list-rules`` documents every rule, its severity, and
+the bug that motivated it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import ERROR, lint_paths
+from .rules import ALL_RULES, ENGINE_RULE_IDS, all_rule_ids
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "repro-lint: AST checks for this repo's concurrency & "
+            "determinism contracts (see README 'Invariants & static "
+            "analysis')."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings as human-readable lines (default) or one JSON object",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule (including engine-level checks) and exit",
+    )
+    return parser
+
+
+def _list_rules(fmt: str) -> int:
+    entries = [
+        {
+            "id": rule.id,
+            "severity": rule.severity,
+            "description": rule.description,
+            "motivation": rule.motivation,
+        }
+        for rule in ALL_RULES
+    ] + [
+        {"id": rid, "severity": severity, "description": desc, "motivation": "engine"}
+        for rid, severity, desc in ENGINE_RULE_IDS
+    ]
+    if fmt == "json":
+        print(json.dumps({"version": 1, "rules": entries}, indent=2))
+        return 0
+    width = max(len(e["id"]) for e in entries)
+    for entry in entries:
+        print(f"{entry['id']:<{width}}  [{entry['severity']}]  {entry['description']}")
+        if entry["motivation"] and entry["motivation"] != "engine":
+            print(f"{'':<{width}}  motivated by: {entry['motivation']}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules(args.format)
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        default = Path("src")
+        paths = [default if default.is_dir() else Path(".")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro.lint: no such path: {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = lint_paths(paths, ALL_RULES, known_rule_ids=all_rule_ids())
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        summary = (
+            f"repro.lint: {report.files_checked} file(s) checked, "
+            f"{report.errors} error(s), {report.warnings} warning(s)"
+        )
+        print(summary)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

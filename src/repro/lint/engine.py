@@ -1,0 +1,284 @@
+"""The rule engine: file walker, AST contexts, suppression, reporting.
+
+:func:`lint_paths` is the one entry point: it expands files/directories
+into Python sources, parses each into a :class:`ModuleContext`, runs
+every rule over it, applies the suppression pragmas
+(:mod:`repro.lint.pragmas`), and folds everything into a
+:class:`LintReport` whose :attr:`~LintReport.errors` decide the process
+exit code.  Rules are plain objects with an ``id``, a ``severity``, and a
+``check(module)`` generator — adding a rule is writing one class and
+registering it in :data:`repro.lint.rules.ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .pragmas import Pragma, scan_pragmas
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "iter_python_files",
+    "lint_paths",
+]
+
+ERROR = "error"
+WARNING = "warning"
+
+# Findings the engine itself emits (not suppressible — a pragma must not
+# be able to silence the pragma checker).
+PARSE_ERROR = "parse-error"
+BAD_PRAGMA = "bad-pragma"
+UNUSED_PRAGMA = "unused-pragma"
+UNKNOWN_RULE = "unknown-rule"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a file:line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = ERROR
+
+    def format(self) -> str:
+        tag = "" if self.severity == ERROR else f" ({self.severity})"
+        return f"{self.path}:{self.line}: [{self.rule}]{tag} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file, as the rules see it."""
+
+    path: Path
+    display_path: str  # the path findings are reported under
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    module_name: str  # dotted name resolved by walking __init__.py parents
+
+    _parents: Optional[Dict[int, ast.AST]] = field(default=None, repr=False)
+
+    @property
+    def parents(self) -> Dict[int, ast.AST]:
+        """``id(child) -> parent`` for every node in the tree (lazy)."""
+        if self._parents is None:
+            parents: Dict[int, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[id(child)] = parent
+            self._parents = parents
+        return self._parents
+
+    def parent_chain(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ancestors of ``node``, innermost first."""
+        current = self.parents.get(id(node))
+        while current is not None:
+            yield current
+            current = self.parents.get(id(current))
+
+    def path_parts(self) -> Tuple[str, ...]:
+        return self.path.parts
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``id``/``description``/``severity``/``motivation`` and
+    implement :meth:`check` as a generator of :class:`Finding`.
+    """
+
+    id: str = ""
+    description: str = ""
+    severity: str = ERROR
+    # Which bug/PR established the contract (shown by --list-rules).
+    motivation: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            message=message,
+            severity=self.severity,
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing error-severity survived suppression."""
+        return self.errors == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, resolved by walking ``__init__.py`` parents.
+
+    ``src/repro/core/approx_search.py`` -> ``repro.core.approx_search``
+    (``src`` has no ``__init__.py`` so the walk stops there), which is
+    what relative-import resolution in the import-graph rules needs.
+    """
+    path = path.resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated source list."""
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            parts = candidate.parts
+            if "__pycache__" in parts:
+                continue
+            if any(part.startswith(".") and part not in (".", "..") for part in parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    known_rule_ids: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run every rule over one file; returns post-suppression findings."""
+    display = str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(PARSE_ERROR, display, 1, f"cannot read file: {exc}")]
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Finding(PARSE_ERROR, display, exc.lineno or 1, f"syntax error: {exc.msg}")
+        ]
+
+    module = ModuleContext(
+        path=path,
+        display_path=display,
+        source=source,
+        lines=lines,
+        tree=tree,
+        module_name=module_name_for(path),
+    )
+
+    raw: List[Finding] = []
+    seen = set()
+    for rule in rules:
+        for finding in rule.check(module):
+            key = (finding.rule, finding.line, finding.message)
+            if key not in seen:
+                seen.add(key)
+                raw.append(finding)
+
+    pragmas = scan_pragmas(source)
+    kept: List[Finding] = []
+    for finding in raw:
+        suppressed = False
+        for pragma in pragmas:
+            if pragma.suppresses(finding.rule, finding.line):
+                pragma.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    known = set(known_rule_ids or ()) | {rule.id for rule in rules}
+    for pragma in pragmas:
+        if pragma.problem:
+            kept.append(Finding(BAD_PRAGMA, display, pragma.line, pragma.problem))
+            continue
+        unknown = [rid for rid in pragma.rule_ids if rid not in known]
+        if unknown:
+            kept.append(
+                Finding(
+                    UNKNOWN_RULE,
+                    display,
+                    pragma.line,
+                    f"pragma names unknown rule(s): {', '.join(unknown)}",
+                )
+            )
+        if not pragma.used:
+            kept.append(
+                Finding(
+                    UNUSED_PRAGMA,
+                    display,
+                    pragma.line,
+                    "pragma suppresses nothing on its target line; "
+                    "remove it (the contract it excused may have been fixed)",
+                )
+            )
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    known_rule_ids: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every Python file reachable from ``paths``."""
+    report = LintReport()
+    for path in iter_python_files([Path(p) for p in paths]):
+        report.files_checked += 1
+        report.findings.extend(lint_file(path, rules, known_rule_ids))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

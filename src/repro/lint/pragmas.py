@@ -1,0 +1,113 @@
+"""Suppression pragmas: ``# repro: allow[rule-id] -- reason``.
+
+A pragma suppresses findings of the named rule(s):
+
+* **trailing** (code on the same line) — suppresses findings reported on
+  that line;
+* **standalone** (the line holds only the comment) — suppresses findings
+  on the *next* line, for statements too long to carry a trailing
+  comment.
+
+Several ids may be listed comma-separated: ``allow[a, b]``.  The reason
+after ``--`` is mandatory — a suppression without a written justification
+is a :data:`~repro.lint.rules.BAD_PRAGMA` error, and a pragma that ends
+up suppressing nothing is an :data:`~repro.lint.rules.UNUSED_PRAGMA`
+error, so stale suppressions are cleaned up instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["Pragma", "scan_pragmas"]
+
+# Matches the whole pragma comment; group 1 = rule-id list, group 2 = the
+# reason (may be absent, which scan_pragmas reports as invalid).
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[([^\]]*)\]\s*(?:--\s*(\S.*))?\s*$"
+)
+# Anything that *looks* like a repro pragma but does not parse — flagged
+# rather than silently ignored, so a typo cannot disable a suppression.
+_PRAGMA_LIKE_RE = re.compile(r"#\s*repro\s*:")
+
+_ID_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int  # 1-based line the comment sits on
+    rule_ids: Tuple[str, ...]
+    reason: str
+    standalone: bool  # comment-only line => applies to line + 1
+    problem: str = ""  # non-empty => malformed (bad-pragma finding)
+    used: bool = field(default=False, compare=False)
+
+    @property
+    def target_line(self) -> int:
+        """The source line whose findings this pragma suppresses."""
+        return self.line + 1 if self.standalone else self.line
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        return not self.problem and rule_id in self.rule_ids and line == self.target_line
+
+
+def scan_pragmas(source: str) -> List[Pragma]:
+    """Extract every repro pragma (valid or malformed) from ``source``.
+
+    Works on real COMMENT tokens, not raw lines, so pragma *examples*
+    inside docstrings and string literals are never mistaken for live
+    suppressions.  The source must tokenize — the engine only calls this
+    after the AST parse has already succeeded.
+    """
+    pragmas: List[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return pragmas
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        text = token.string
+        lineno, col = token.start
+        standalone = not token.line[:col].strip()
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            if _PRAGMA_LIKE_RE.search(text):
+                pragmas.append(
+                    Pragma(
+                        line=lineno,
+                        rule_ids=(),
+                        reason="",
+                        standalone=standalone,
+                        problem=(
+                            "unparseable repro pragma; expected "
+                            "'# repro: allow[rule-id] -- reason'"
+                        ),
+                    )
+                )
+            continue
+        ids = tuple(part.strip() for part in match.group(1).split(",") if part.strip())
+        reason = (match.group(2) or "").strip()
+        problem = ""
+        if not ids:
+            problem = "pragma lists no rule ids"
+        elif any(not _ID_RE.match(rule_id) for rule_id in ids):
+            problem = f"malformed rule id in pragma: {', '.join(ids)}"
+        elif not reason:
+            problem = "pragma has no reason; append ' -- <why this is safe>'"
+        pragmas.append(
+            Pragma(
+                line=lineno,
+                rule_ids=ids,
+                reason=reason,
+                standalone=standalone,
+                problem=problem,
+            )
+        )
+    return pragmas

@@ -122,6 +122,11 @@ class WorkerProcess:
     ctx:
         ``multiprocessing`` context (platform default when omitted: fork
         on Linux, spawn on macOS / Windows).
+    clock:
+        Monotonic time source for spawn timestamps and heartbeat aging
+        (injectable so staleness logic can be tested without sleeping;
+        the child process keeps writing real ``time.monotonic`` beats
+        regardless, so only use a fake clock with workers that share it).
 
     Both mailboxes are private to one incarnation *by design*, not
     convenience: a queue is only as healthy as the processes that touch
@@ -140,10 +145,12 @@ class WorkerProcess:
         args: Tuple = (),
         name: Optional[str] = None,
         ctx=None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self._ctx = ctx if ctx is not None else multiprocessing.get_context()
         self._target = target
         self._args = tuple(args)
+        self._clock = clock
         self.name = name
         self.generation = 0  # how many times this slot has been (re)spawned
         self.started_at = 0.0
@@ -167,7 +174,7 @@ class WorkerProcess:
         )
         self._process.start()
         self.generation += 1
-        self.started_at = time.monotonic()
+        self.started_at = self._clock()
         return self
 
     def send(self, message) -> None:
@@ -202,7 +209,7 @@ class WorkerProcess:
         beat = max(beat, self.started_at)
         if beat <= 0.0:
             return float("inf")
-        now = time.monotonic() if now is None else now
+        now = self._clock() if now is None else now
         return max(0.0, now - beat)
 
     def respawn(self) -> "WorkerProcess":

@@ -198,7 +198,7 @@ class AsyncQueryFrontend:
         waiters, self._waiters = self._waiters, []
         try:
             self.service.flush()
-        except Exception as exc:  # surface the failure on every caller
+        except Exception as exc:  # repro: allow[broad-except] -- a failed flush must surface on every parked caller's future; swallowing only some exception types would leave callers awaiting forever
             for _, future in waiters:
                 if not future.done():
                     future.set_exception(exc)

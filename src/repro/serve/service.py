@@ -256,7 +256,7 @@ class QueryService:
                 results = engine.query_merged(
                     merged_queries, radii, request_ids, ks
                 )
-            except Exception as exc:
+            except Exception as exc:  # repro: allow[broad-except] -- error containment is the contract: one cloud group's failure settles its own tickets and must not take down the other groups in the flush
                 # Contain the blast radius to this cloud group: its
                 # tickets settle with the error (submit-time validation
                 # makes this an internal failure, e.g. a malformed custom

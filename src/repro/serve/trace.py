@@ -23,7 +23,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,13 +52,20 @@ def synthetic_trace(
     cloud_size: int = 2048,
     queries_per_request: int = 64,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[Request]:
-    """Draw a deterministic request trace over ``num_clouds`` point clouds."""
+    """Draw a deterministic request trace over ``num_clouds`` point clouds.
+
+    ``rng`` lets callers supply their own generator (e.g. one stream of a
+    larger deterministic replay schedule); when omitted, a fresh
+    ``default_rng(seed)`` keeps the trace a pure function of ``seed`` —
+    the property sharded replay's bit-identity check depends on.
+    """
     if num_requests <= 0 or num_clouds <= 0 or cloud_size <= 0:
         raise ValueError("trace dimensions must be positive")
     if queries_per_request <= 0:
         raise ValueError("queries_per_request must be positive")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed) if rng is None else rng
     clouds = [rng.normal(size=(cloud_size, 3)) for _ in range(num_clouds)]
     trace: List[Request] = []
     for _ in range(num_requests):
@@ -99,9 +106,15 @@ def replay_trace(
     window: float = 0.001,
     max_batch: int = 64,
     max_pending: int = 256,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> TraceReport:
-    """Replay ``trace`` coalesced and sequentially; compare and report."""
-    service = QueryService()
+    """Replay ``trace`` coalesced and sequentially; compare and report.
+
+    ``clock`` is the wall-clock source behind the reported timings,
+    injectable so tests can pin the speedup arithmetic without racing a
+    real timer.
+    """
+    service = QueryService(clock=clock)
 
     async def run_coalesced():
         async with AsyncQueryFrontend(
@@ -111,14 +124,14 @@ def replay_trace(
                 *[frontend.submit(*request) for request in trace]
             )
 
-    t0 = time.perf_counter()
+    t0 = clock()
     coalesced = asyncio.run(run_coalesced())
-    coalesced_time = time.perf_counter() - t0
+    coalesced_time = clock() - t0
 
-    sequential_service = QueryService()
-    t0 = time.perf_counter()
+    sequential_service = QueryService(clock=clock)
+    t0 = clock()
     sequential = [sequential_service.query(*request) for request in trace]
-    sequential_time = time.perf_counter() - t0
+    sequential_time = clock() - t0
 
     identical = all(
         np.array_equal(ci, si) and np.array_equal(cc, sc)
@@ -153,7 +166,11 @@ class ShardedTraceReport:
         )
 
 
-def replay_trace_sharded(trace: List[Request], num_workers: int = 2) -> ShardedTraceReport:
+def replay_trace_sharded(
+    trace: List[Request],
+    num_workers: int = 2,
+    clock: Callable[[], float] = time.perf_counter,
+) -> ShardedTraceReport:
     """Replay ``trace`` through the sharded tier; compare against sequential.
 
     Every distinct cloud is :meth:`~repro.serve.ShardedQueryService.
@@ -165,23 +182,23 @@ def replay_trace_sharded(trace: List[Request], num_workers: int = 2) -> ShardedT
     """
     from .sharded import ShardedQueryService
 
-    sequential_service = QueryService()
+    sequential_service = QueryService(clock=clock)
     for points, *_ in trace:
         sequential_service.session.tree_for(points)
-    t0 = time.perf_counter()
+    t0 = clock()
     sequential = [sequential_service.query(*request) for request in trace]
-    sequential_time = time.perf_counter() - t0
+    sequential_time = clock() - t0
 
-    with ShardedQueryService(num_workers=num_workers) as service:
+    with ShardedQueryService(num_workers=num_workers, clock=clock) as service:
         handles = [service.register(points) for points, *_ in trace]
-        t0 = time.perf_counter()
+        t0 = clock()
         tickets = [
             service.submit_handle(handle, queries, radius, max_neighbors)
             for handle, (_, queries, radius, max_neighbors) in zip(handles, trace)
         ]
         service.flush()
         results = [ticket.result() for ticket in tickets]
-        sharded_time = time.perf_counter() - t0
+        sharded_time = clock() - t0
         stats = service.stats
 
     identical = all(

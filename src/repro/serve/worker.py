@@ -45,7 +45,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -83,7 +83,7 @@ def _serve_batch(
                 continue
         try:
             tickets[job_id] = service.submit(points, queries, radius, max_neighbors)
-        except Exception as exc:
+        except Exception as exc:  # repro: allow[broad-except] -- whatever submit raises must travel back as this one job's error; letting it escape would kill the worker and fail every co-batched caller
             failures[job_id] = exc
     service.flush()
     results = []
@@ -108,12 +108,16 @@ def serving_worker_main(
     heartbeat,
     slot: int,
     beat_interval: float = BEAT_INTERVAL,
+    clock: Callable[[], float] = time.monotonic,
 ) -> None:
     """Entry point of one serving worker process (see module docs).
 
     ``inbox``/``outbox``/``heartbeat`` are supplied per incarnation by
     :class:`~repro.runtime.WorkerProcess`; ``slot`` is the shard index
-    stamped on every reply.
+    stamped on every reply.  ``clock`` is the beat source written into
+    ``heartbeat.value`` — injectable (picklable, so a module-level fake
+    works across spawn) for tests that exercise staleness handling; it
+    must share a timebase with the dispatcher's ``heartbeat_age`` clock.
     """
     # Imported lazily so a fork-started worker reuses the parent's module,
     # and each process gets its own long-lived session (trees and layouts
@@ -126,11 +130,11 @@ def serving_worker_main(
 
     def _beat_forever() -> None:
         while not stop_beating.wait(beat_interval):
-            heartbeat.value = time.monotonic()
+            heartbeat.value = clock()
 
     beater = threading.Thread(target=_beat_forever, daemon=True)
     beater.start()
-    heartbeat.value = time.monotonic()
+    heartbeat.value = clock()
     try:
         while True:
             try:
@@ -149,7 +153,7 @@ def serving_worker_main(
                 reply = _serve_batch(service, registered, slot, batch_id, jobs)
                 try:
                     outbox.put(reply)
-                except Exception:
+                except Exception:  # repro: allow[broad-except] -- any pickling failure (arbitrary user exception types) must trigger the sanitized resend; a lost reply reads as a dead worker upstream
                     # An unpicklable per-job error must not strand the
                     # batch (a lost reply reads as a dead worker upstream):
                     # resend with errors flattened to their repr.

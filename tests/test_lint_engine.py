@@ -1,0 +1,276 @@
+"""Engine-level tests for repro-lint: pragmas, CLI, formats, exit codes.
+
+The per-rule good/bad fixtures live in ``tests/test_lint_rules.py``; this
+file pins the machinery those rules ride on — suppression semantics, the
+JSON schema, ``--list-rules``, and the process exit contract CI depends
+on.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, all_rule_ids, lint_paths, scan_pragmas
+from repro.lint.cli import main
+from repro.lint.engine import module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# A file that trips cache-truthiness: one finding, one known line.
+BAD_CACHE = """\
+def lookup(cache, key):
+    if cache.get(key):
+        return True
+    return False
+"""
+
+
+def write(tmp_path: Path, name: str, text: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def run_lint(tmp_path: Path):
+    return lint_paths([tmp_path], ALL_RULES, known_rule_ids=all_rule_ids())
+
+
+# ----------------------------------------------------------------------
+# Pragma semantics
+# ----------------------------------------------------------------------
+
+class TestPragmas:
+    def test_trailing_pragma_suppresses_same_line(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "def lookup(cache, key):\n"
+            "    if cache.get(key):  # repro: allow[cache-truthiness] -- test fixture\n"
+            "        return True\n",
+        )
+        report = run_lint(tmp_path)
+        assert report.findings == []
+        assert report.ok
+
+    def test_standalone_pragma_suppresses_next_line(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "def lookup(cache, key):\n"
+            "    # repro: allow[cache-truthiness] -- test fixture\n"
+            "    if cache.get(key):\n"
+            "        return True\n",
+        )
+        report = run_lint(tmp_path)
+        assert report.findings == []
+
+    def test_pragma_on_wrong_line_does_not_suppress(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "# repro: allow[cache-truthiness] -- too far away\n"
+            "def lookup(cache, key):\n"
+            "    if cache.get(key):\n"
+            "        return True\n",
+        )
+        report = run_lint(tmp_path)
+        rules = {f.rule for f in report.findings}
+        # The real finding survives AND the pragma is reported as expired.
+        assert "cache-truthiness" in rules
+        assert "unused-pragma" in rules
+
+    def test_pragma_without_reason_is_an_error(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "def lookup(cache, key):\n"
+            "    if cache.get(key):  # repro: allow[cache-truthiness]\n"
+            "        return True\n",
+        )
+        report = run_lint(tmp_path)
+        rules = {f.rule for f in report.findings}
+        # No reason => invalid => does not suppress, and is itself flagged.
+        assert "bad-pragma" in rules
+        assert "cache-truthiness" in rules
+        assert not report.ok
+
+    def test_expired_pragma_is_an_error(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "x = 1  # repro: allow[cache-truthiness] -- nothing here anymore\n",
+        )
+        report = run_lint(tmp_path)
+        assert [f.rule for f in report.findings] == ["unused-pragma"]
+        assert not report.ok
+
+    def test_unknown_rule_id_is_flagged(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "x = 1  # repro: allow[no-such-rule] -- typo\n",
+        )
+        report = run_lint(tmp_path)
+        assert "unknown-rule" in {f.rule for f in report.findings}
+
+    def test_comma_separated_ids(self, tmp_path):
+        write(
+            tmp_path,
+            "serve/mod.py",
+            "def lookup(cache, key):\n"
+            "    if cache.get(key):  # repro: allow[cache-truthiness, broad-except] -- only one fires\n"
+            "        return True\n",
+        )
+        report = run_lint(tmp_path)
+        # cache-truthiness suppressed; the pragma as a whole was used, so
+        # the extra id does not make it "unused".
+        assert report.findings == []
+
+    def test_pragma_in_docstring_is_inert(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            '"""Docs showing # repro: allow[cache-truthiness] -- an example."""\n'
+            "x = 1\n",
+        )
+        report = run_lint(tmp_path)
+        assert report.findings == []
+
+    def test_scan_pragmas_parses_fields(self):
+        pragmas = scan_pragmas(
+            "x = 1  # repro: allow[reference-freeze] -- because reasons\n"
+        )
+        assert len(pragmas) == 1
+        p = pragmas[0]
+        assert p.rule_ids == ("reference-freeze",)
+        assert p.reason == "because reasons"
+        assert not p.standalone
+        assert p.target_line == 1
+        assert p.problem == ""
+
+    def test_malformed_pragma_like_comment_is_flagged(self, tmp_path):
+        write(tmp_path, "mod.py", "x = 1  # repro: allwo[oops]\n")
+        report = run_lint(tmp_path)
+        assert "bad-pragma" in {f.rule for f in report.findings}
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+
+class TestEngine:
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        write(tmp_path, "broken.py", "def nope(:\n")
+        report = run_lint(tmp_path)
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert not report.ok
+
+    def test_pycache_and_hidden_dirs_skipped(self, tmp_path):
+        write(tmp_path, "__pycache__/junk.py", "def nope(:\n")
+        write(tmp_path, ".hidden/junk.py", "def nope(:\n")
+        write(tmp_path, "ok.py", "x = 1\n")
+        report = run_lint(tmp_path)
+        assert report.files_checked == 1
+        assert report.findings == []
+
+    def test_findings_carry_file_and_line(self, tmp_path):
+        path = write(tmp_path, "mod.py", BAD_CACHE)
+        report = run_lint(tmp_path)
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.path == str(path)
+        assert finding.line == 2
+        assert finding.rule == "cache-truthiness"
+
+    def test_module_name_resolution(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/sub/__init__.py", "")
+        leaf = write(tmp_path, "pkg/sub/mod.py", "x = 1\n")
+        assert module_name_for(leaf) == "pkg.sub.mod"
+        assert module_name_for(tmp_path / "pkg" / "sub" / "__init__.py") == "pkg.sub"
+
+
+# ----------------------------------------------------------------------
+# CLI: formats, exit codes, --list-rules
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        write(tmp_path, "ok.py", "x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_exit_nonzero_on_findings(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", BAD_CACHE)
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "[cache-truthiness]" in out
+        assert "mod.py:2" in out
+
+    def test_warnings_do_not_fail_the_run(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "mod.py",
+            "try:\n    x = 1\nexcept Exception:\n    pass\n",
+        )
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "broad-except" in out
+        assert "1 warning(s)" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_json_schema(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", BAD_CACHE)
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 0
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "message", "severity"}
+        assert finding["rule"] == "cache-truthiness"
+        assert finding["line"] == 2
+        assert finding["severity"] == "error"
+
+    def test_list_rules_names_every_rule(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in all_rule_ids():
+            assert rule_id in out
+
+    def test_list_rules_json(self, capsys):
+        assert main(["--list-rules", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        listed = {entry["id"] for entry in payload["rules"]}
+        assert listed == set(all_rule_ids())
+        for entry in payload["rules"]:
+            assert set(entry) == {"id", "severity", "description", "motivation"}
+
+    def test_module_invocation_exit_codes(self, tmp_path):
+        """`python -m repro.lint` works end to end, as CI runs it."""
+        write(tmp_path, "mod.py", BAD_CACHE)
+        env_src = str(REPO_ROOT / "src")
+        bad = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+        )
+        assert bad.returncode == 1
+        assert "cache-truthiness" in bad.stdout
+        good = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--list-rules"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+        )
+        assert good.returncode == 0
