@@ -1,0 +1,146 @@
+"""Benchmark-lane guard for the tape autograd engine + stacked batching.
+
+PR 8's tentpole retires the last per-sample Python hot path: ops record
+onto a flat tape replayed in reverse, and the models/trainer stack a
+leading sample axis so one forward/backward covers a whole mini-batch.
+This bench pins both halves against the frozen closure-walking reference
+engine (:class:`repro.nn.ReferenceTensor`) on a model-shaped workload —
+MLP feature lift, neighbor gather, per-group max-pool, global pool,
+cross-entropy — and asserts
+
+* identity: every per-sample loss of the batched tape pass equals the
+  reference engine's scalar loss bit for bit, and parameter gradients
+  agree to float64 resolution (accumulation order differs, so bitwise
+  equality is not the contract for grads);
+* speed: one batched tape pass is >= 3x faster than the per-sample
+  reference loop.  The full gap measures well above the floor; the slack
+  absorbs shared-runner throttling without ever re-admitting a
+  per-sample Python loop.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn import ReferenceTensor, Tensor
+
+BATCH = 256
+N_POINTS = 16
+K_NEIGHBORS = 4
+HIDDEN = 16
+CLASSES = 8
+ROUNDS = 3
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(20260808)
+    clouds = rng.normal(scale=0.5, size=(BATCH, N_POINTS, 3))
+    indices = rng.integers(0, N_POINTS, size=(BATCH, N_POINTS, K_NEIGHBORS))
+    labels = rng.integers(0, CLASSES, size=BATCH)
+    onehot = np.eye(CLASSES)[labels]
+    params = {
+        "w1": rng.normal(scale=0.3, size=(3, HIDDEN)),
+        "b1": np.zeros(HIDDEN),
+        "w2": rng.normal(scale=0.3, size=(HIDDEN, HIDDEN)),
+        "b2": np.zeros(HIDDEN),
+        "w3": rng.normal(scale=0.3, size=(HIDDEN, HIDDEN)),
+        "b3": np.zeros(HIDDEN),
+        "w4": rng.normal(scale=0.3, size=(HIDDEN, CLASSES)),
+        "b4": np.zeros(CLASSES),
+    }
+    return clouds, indices, onehot, params
+
+
+def _params(tensor_cls, raw):
+    return {k: tensor_cls(v.copy(), requires_grad=True) for k, v in raw.items()}
+
+
+def _head(tensor_cls, features, pooled_axis_max, onehot_row):
+    """Global pool -> logits -> cross-entropy, engine-generic."""
+    logits = pooled_axis_max @ features["w4"] + features["b4"]
+    shifted = logits - tensor_cls(logits.data.max(axis=-1, keepdims=True))
+    logp = shifted - shifted.exp().sum(axis=-1, keepdims=True).log()
+    picked = (logp * tensor_cls(onehot_row)).sum(axis=-1)
+    return picked
+
+
+def run_reference(clouds, indices, onehot, raw_params):
+    """The per-sample closure-engine loop the tape engine retired."""
+    params = _params(ReferenceTensor, raw_params)
+    losses = np.empty(BATCH)
+    for b in range(BATCH):
+        lifted = (ReferenceTensor(clouds[b]) @ params["w1"] + params["b1"]).relu()
+        feats = (lifted @ params["w2"] + params["b2"]).relu()  # (N, H)
+        gathered = feats.take(indices[b].reshape(-1)).reshape(
+            N_POINTS, K_NEIGHBORS, HIDDEN
+        )
+        grouped = gathered.max(axis=-2)  # (N, H)
+        refined = (grouped @ params["w3"] + params["b3"]).relu()  # (N, H)
+        pooled = refined.max(axis=-2, keepdims=True)  # (1, H)
+        picked = _head(ReferenceTensor, params, pooled, onehot[b][None, :])
+        loss = -picked.mean()
+        loss.backward()  # grads accumulate across samples
+        losses[b] = loss.data
+    grads = {k: p.grad for k, p in params.items()}
+    return losses, grads
+
+
+def run_batched_tape(clouds, indices, onehot, raw_params):
+    """One stacked forward/backward on the tape engine."""
+    params = _params(Tensor, raw_params)
+    lifted = (Tensor(clouds) @ params["w1"] + params["b1"]).relu()  # (B, N, H)
+    feats = (lifted @ params["w2"] + params["b2"]).relu()
+    gathered = feats.gather_rows(
+        indices.reshape(BATCH, N_POINTS * K_NEIGHBORS)
+    ).reshape(BATCH, N_POINTS, K_NEIGHBORS, HIDDEN)
+    grouped = gathered.max(axis=-2)  # (B, N, H)
+    refined = (grouped @ params["w3"] + params["b3"]).relu()
+    pooled = refined.max(axis=-2, keepdims=True)  # (B, 1, H)
+    picked = _head(Tensor, params, pooled, onehot[:, None, :])
+    per_sample = -picked.reshape(BATCH, -1).mean(axis=-1)  # (B,)
+    per_sample.sum().backward()  # same total as the accumulating loop
+    grads = {k: p.grad for k, p in params.items()}
+    return per_sample.data.copy(), grads
+
+
+def test_batched_tape_matches_reference_loop(workload):
+    clouds, indices, onehot, raw = workload
+    ref_losses, ref_grads = run_reference(clouds, indices, onehot, raw)
+    tape_losses, tape_grads = run_batched_tape(clouds, indices, onehot, raw)
+    # Per-sample losses: bit-identical (row-local arithmetic everywhere).
+    assert tape_losses.tobytes() == ref_losses.tobytes()
+    # Gradients: same sums in a different order — float64-close, not bitwise.
+    for k in raw:
+        np.testing.assert_allclose(
+            tape_grads[k], ref_grads[k], rtol=1e-10, atol=1e-12
+        )
+
+
+def test_batched_tape_speed_floor(workload):
+    clouds, indices, onehot, raw = workload
+    run_reference(clouds, indices, onehot, raw)  # warm both paths
+    run_batched_tape(clouds, indices, onehot, raw)
+    ref_t = min(
+        _timed(run_reference, clouds, indices, onehot, raw) for _ in range(ROUNDS)
+    )
+    tape_t = min(
+        _timed(run_batched_tape, clouds, indices, onehot, raw) for _ in range(ROUNDS)
+    )
+    speedup = ref_t / tape_t
+    print(
+        f"\nper-sample reference loop: {ref_t * 1e3:.1f} ms; "
+        f"batched tape: {tape_t * 1e3:.1f} ms; speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched tape only {speedup:.2f}x faster than the per-sample "
+        f"reference loop (floor {MIN_SPEEDUP}x)"
+    )
+
+
+def _timed(fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0

@@ -92,15 +92,17 @@ class ReferenceFreezeRule(Rule):
     id = "reference-freeze"
     description = (
         "Reference engines (kdtree/traversal.py, kdtree/exact.py, "
-        "core/approx_search.py, runtime/topphase.py) must not import the "
-        "vectorized engines they are the ground truth for "
-        "(runtime.batched, runtime.lockstep, vectorized_top_phase)."
+        "core/approx_search.py, runtime/topphase.py, nn/reference.py) must "
+        "not import the vectorized/tape engines they are the ground truth "
+        "for (runtime.batched, runtime.lockstep, vectorized_top_phase, "
+        "nn.tape, nn.tensor)."
     )
     motivation = (
         "ROADMAP standing constraint: the per-step reference paths are what "
         "the randomized equivalence suites pin the vectorized engines "
         "against; a reference that leans on the engine under test proves "
-        "nothing."
+        "nothing.  PR 8 extends the freeze to the closure-walking autograd "
+        "reference that pins the tape engine's gradients bit for bit."
     )
 
     FROZEN_SUFFIXES = (
@@ -108,8 +110,14 @@ class ReferenceFreezeRule(Rule):
         "kdtree/exact.py",
         "core/approx_search.py",
         "runtime/topphase.py",
+        "nn/reference.py",
     )
-    FORBIDDEN_MODULES = ("runtime.batched", "runtime.lockstep")
+    FORBIDDEN_MODULES = (
+        "runtime.batched",
+        "runtime.lockstep",
+        "nn.tape",
+        "nn.tensor",
+    )
     # Importing the reference_top_phase symbol from runtime.topphase is
     # legitimate; only the vectorized entry point is off limits.
     FORBIDDEN_TOPPHASE_SYMBOLS = {"vectorized_top_phase", "*"}
@@ -119,6 +127,17 @@ class ReferenceFreezeRule(Rule):
         "BatchedBallQuery",
         "VectorizedLockstep",
         "vectorized_top_phase",
+    }
+    # The autograd reference must not lean on the tape engine it pins:
+    # neither the submodules nor the production Tensor / tape helpers.
+    FORBIDDEN_NN_SYMBOLS = {
+        "tape",
+        "tensor",
+        "Tensor",
+        "no_grad",
+        "tape_length",
+        "reset_tape",
+        "*",
     }
 
     def applies(self, module: ModuleContext) -> bool:
@@ -155,6 +174,8 @@ class ReferenceFreezeRule(Rule):
                     bad = names & self.FORBIDDEN_TOPPHASE_SYMBOLS
                 elif target.endswith("runtime") or target == "runtime":
                     bad = names & self.FORBIDDEN_RUNTIME_SYMBOLS
+                elif target.endswith("nn") or target == "nn":
+                    bad = names & self.FORBIDDEN_NN_SYMBOLS
                 else:
                     bad = set()
                 if bad:

@@ -103,3 +103,40 @@ class DensePointClassifier(Module):
             features = dense
         pooled = self.pool(features)
         return self.head(self.dropout(pooled))
+
+    def forward_batch(
+        self,
+        points: np.ndarray,
+        settings=ApproxSetting(),
+        cache_keys: Optional[Sequence[Optional[int]]] = None,
+    ) -> Tensor:
+        """Logits of shape ``(B, 1, num_classes)`` for ``(B, N, 3)`` clouds;
+        row ``b`` is bit-identical to the per-sample forward (dropout RNG
+        caveat as in :meth:`PointNetPPClassifier.forward_batch`)."""
+        from .layers import farthest_point_sampling_batched
+        from .pointnetpp import _batch_settings, _stage_keys
+
+        pts = np.asarray(points, dtype=np.float64)
+        batch = len(pts)
+        settings = _batch_settings(settings, batch)
+        current_points = pts
+        features: Optional[Tensor] = None
+        for i, stage in enumerate(self.stages):
+            new_points, new_features = stage.forward_batch(
+                current_points,
+                features,
+                settings,
+                _stage_keys(cache_keys, f"stage{i}", batch),
+            )
+            if features is None:
+                dense = new_features
+            else:
+                fps = farthest_point_sampling_batched(
+                    current_points, stage.num_centroids
+                )
+                carried = features.gather_rows(fps)
+                dense = new_features.concat([carried], axis=-1)
+            current_points = new_points
+            features = dense
+        pooled = self.pool(features)
+        return self.head(self.dropout(pooled))

@@ -37,10 +37,23 @@ CAR_ANCHOR = np.array([4.2, 1.8, 1.55])
 
 @dataclass
 class BoxPrediction:
-    """Decoded detection output."""
+    """Decoded detection output.
+
+    :meth:`FrustumPointNet.forward_batch` returns one instance holding
+    stacked ``(B, N, 2)`` / ``(B, 1, 8)`` tensors; use :meth:`sample` to
+    slice out a per-frustum prediction before decoding.
+    """
 
     segmentation_logits: Tensor  # (N, 2)
     box_params: Tensor  # (1, 7): dx, dy, dz, dlogl, dlogw, dlogh, yaw_sin, yaw_cos
+
+    def sample(self, index: int) -> "BoxPrediction":
+        """Per-sample view of a stacked prediction (forward values only —
+        the slices are detached constants, fine for decoding/metrics)."""
+        return BoxPrediction(
+            segmentation_logits=Tensor(self.segmentation_logits.data[index]),
+            box_params=Tensor(self.box_params.data[index]),
+        )
 
     def decode(self, points: np.ndarray) -> Box3D:
         """Turn network outputs into a world-frame box."""
@@ -136,6 +149,34 @@ class FrustumPointNet(Module):
         p2, f2 = self.sa2(p1, f1, setting, cache_key=key)
         up1 = self.fp2(p1, p2, f2, f1)
         up0 = self.fp1(local, p1, up1, None)
+        seg_logits = self.seg_head(up0)
+        box = self.box_head(self.pool(f2))
+        return BoxPrediction(segmentation_logits=seg_logits, box_params=box)
+
+    def forward_batch(
+        self,
+        frustum_points: np.ndarray,
+        settings=ApproxSetting(),
+        cache_keys=None,
+    ) -> BoxPrediction:
+        """Stacked prediction for ``(B, N, 3)`` frustum crops:
+        segmentation logits ``(B, N, 2)`` and box params ``(B, 1, 8)``.
+        Row ``b`` is bit-identical to the per-sample forward."""
+        from .pointnetpp import _batch_settings, _stage_keys
+
+        pts = np.asarray(frustum_points, dtype=np.float64)
+        batch = len(pts)
+        settings = _batch_settings(settings, batch)
+        offset = pts.mean(axis=1, keepdims=True)
+        local = pts - offset
+        p1, f1 = self.sa1.forward_batch(
+            local, None, settings, _stage_keys(cache_keys, "sa1", batch)
+        )
+        p2, f2 = self.sa2.forward_batch(
+            p1, f1, settings, _stage_keys(cache_keys, "sa2", batch)
+        )
+        up1 = self.fp2.forward_batch(p1, p2, f2, f1)
+        up0 = self.fp1.forward_batch(local, p1, up1, None)
         seg_logits = self.seg_head(up0)
         box = self.box_head(self.pool(f2))
         return BoxPrediction(segmentation_logits=seg_logits, box_params=box)

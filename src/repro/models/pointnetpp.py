@@ -46,6 +46,29 @@ def _chain_query_plan(
 __all__ = ["PointNetPPClassifier", "PointNetPPSegmenter"]
 
 
+def _batch_settings(
+    settings, batch: int
+) -> Sequence[ApproxSetting]:
+    """Broadcast a single setting to the batch; validate sequence length."""
+    if isinstance(settings, ApproxSetting):
+        return [settings] * batch
+    if len(settings) != batch:
+        raise ValueError(f"expected {batch} settings, got {len(settings)}")
+    return settings
+
+
+def _stage_keys(
+    cache_keys: Optional[Sequence[Optional[int]]], name: str, batch: int
+) -> Optional[List[Optional[tuple]]]:
+    """Per-sample cache keys for one SA stage (matching the per-sample
+    forward's ``(cache_key, stage_name)`` convention)."""
+    if cache_keys is None:
+        return None
+    if len(cache_keys) != batch:
+        raise ValueError(f"expected {batch} cache keys, got {len(cache_keys)}")
+    return [(k, name) if k is not None else None for k in cache_keys]
+
+
 class PointNetPPClassifier(Module):
     """PointNet++ (c): SA ×2 → group-all SA → classifier head."""
 
@@ -103,6 +126,31 @@ class PointNetPPClassifier(Module):
         _, f3 = self.sa3(p2, f2, setting)
         return self.head(self.dropout(f3))
 
+    def forward_batch(
+        self,
+        points: np.ndarray,
+        settings=ApproxSetting(),
+        cache_keys: Optional[Sequence[Optional[int]]] = None,
+    ) -> Tensor:
+        """Logits of shape ``(B, 1, num_classes)`` for ``(B, N, 3)`` clouds.
+
+        Row ``b`` is bit-identical to
+        ``forward(points[b], settings[b], cache_keys[b])`` (modulo the
+        dropout mask shape in training mode, which consumes the layer RNG
+        identically only for ``B == 1``).
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        batch = len(pts)
+        settings = _batch_settings(settings, batch)
+        p1, f1 = self.sa1.forward_batch(
+            pts, None, settings, _stage_keys(cache_keys, "sa1", batch)
+        )
+        p2, f2 = self.sa2.forward_batch(
+            p1, f1, settings, _stage_keys(cache_keys, "sa2", batch)
+        )
+        _, f3 = self.sa3.forward_batch(p2, f2, settings)
+        return self.head(self.dropout(f3))
+
 
 class PointNetPPSegmenter(Module):
     """PointNet++ (s): SA encoder + FP decoder → per-point logits."""
@@ -154,4 +202,25 @@ class PointNetPPSegmenter(Module):
         p2, f2 = self.sa2(p1, f1, setting, cache_key=key)
         up1 = self.fp2(p1, p2, f2, f1)  # features at sa1 resolution
         up0 = self.fp1(np.asarray(points, dtype=np.float64), p1, up1, None)
+        return self.head(up0)
+
+    def forward_batch(
+        self,
+        points: np.ndarray,
+        settings=ApproxSetting(),
+        cache_keys: Optional[Sequence[Optional[int]]] = None,
+    ) -> Tensor:
+        """Per-point logits of shape ``(B, N, num_classes)``; row ``b`` is
+        bit-identical to ``forward(points[b], settings[b], cache_keys[b])``."""
+        pts = np.asarray(points, dtype=np.float64)
+        batch = len(pts)
+        settings = _batch_settings(settings, batch)
+        p1, f1 = self.sa1.forward_batch(
+            pts, None, settings, _stage_keys(cache_keys, "sa1", batch)
+        )
+        p2, f2 = self.sa2.forward_batch(
+            p1, f1, settings, _stage_keys(cache_keys, "sa2", batch)
+        )
+        up1 = self.fp2.forward_batch(p1, p2, f2, f1)
+        up0 = self.fp1.forward_batch(pts, p1, up1, None)
         return self.head(up0)

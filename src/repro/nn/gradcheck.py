@@ -1,0 +1,81 @@
+"""Finite-difference gradient verification for autograd primitives.
+
+New primitives cannot land without VJP verification: every op registered
+in ``nn.tensor`` has a ``gradcheck`` case in ``tests/test_nn_gradcheck.py``
+(broadcasting shapes, gather indices, max-reduction ties included).  The
+checker perturbs each input coordinate by ``±eps`` and compares the
+central-difference quotient of the scalar output against the autograd
+gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["gradcheck", "numerical_gradient"]
+
+
+def numerical_gradient(
+    fn: Callable[..., float],
+    inputs: Sequence[np.ndarray],
+    argnum: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. one input.
+
+    ``fn`` receives plain arrays and returns a Python float; the perturbed
+    argument is mutated in place and restored, so ``fn`` must not retain it.
+    """
+    arrays = [np.asarray(x, dtype=np.float64) for x in inputs]
+    target = arrays[argnum]
+    grad = np.zeros_like(target)
+    flat, gflat = target.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(*arrays)
+        flat[i] = orig - eps
+        minus = fn(*arrays)
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    build: Callable[..., Tensor],
+    *inputs: np.ndarray,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Verify autograd gradients of ``build(*tensors) -> scalar Tensor``.
+
+    Every input is treated as requiring grad; raises ``AssertionError`` with
+    the offending argnum and max deviation on mismatch, returns ``True``
+    otherwise (so it can sit directly in an ``assert``).
+    """
+    tensors = [Tensor(np.asarray(x, dtype=np.float64).copy(), requires_grad=True) for x in inputs]
+    out = build(*tensors)
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar output")
+    out.backward()
+
+    def scalar_fn(*arrays: np.ndarray) -> float:
+        return build(*(Tensor(a.copy()) for a in arrays)).item()
+
+    for argnum, t in enumerate(tensors):
+        expected = numerical_gradient(scalar_fn, inputs, argnum, eps=eps)
+        got = t.grad
+        if got is None:
+            raise AssertionError(f"argnum {argnum}: no gradient accumulated")
+        if not np.allclose(got, expected, atol=atol, rtol=rtol):
+            dev = np.max(np.abs(got - expected))
+            raise AssertionError(
+                f"argnum {argnum}: autograd/numerical mismatch (max dev {dev:.3e})\n"
+                f"autograd:\n{got}\nnumerical:\n{expected}"
+            )
+    return True

@@ -1,4 +1,13 @@
-"""Loss functions."""
+"""Loss functions.
+
+Every loss accepts ``reduction="mean"`` (default: one scalar over all
+elements, the historical behavior) or ``reduction="per_sample"``: the
+leading axis is treated as a stacked mini-batch and the loss is averaged
+over everything *except* that axis, yielding a ``(B,)`` tensor whose row
+``b`` equals the scalar loss of sample ``b`` alone, bit for bit.  That
+equivalence is what lets the mini-batched trainer report per-sample losses
+identical to the per-sample loop.
+"""
 
 from __future__ import annotations
 
@@ -9,14 +18,27 @@ from .tensor import Tensor
 __all__ = ["softmax_cross_entropy", "log_softmax", "mse_loss", "huber_loss"]
 
 
+def _reduce(values: Tensor, reduction: str) -> Tensor:
+    """Apply the reduction contract described in the module docstring."""
+    if reduction == "mean":
+        return values.mean()
+    if reduction == "per_sample":
+        if values.ndim == 0:
+            raise ValueError("per_sample reduction requires a leading sample axis")
+        return values.reshape(values.shape[0], -1).mean(axis=-1)
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
 def log_softmax(logits: Tensor) -> Tensor:
     """Numerically stable log-softmax over the last axis."""
     shifted = logits - Tensor(logits.data.max(axis=-1, keepdims=True))
     return shifted - shifted.exp().sum(axis=-1, keepdims=True).log()
 
 
-def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
-    """Mean cross-entropy between ``logits (..., C)`` and integer labels.
+def softmax_cross_entropy(
+    logits: Tensor, labels: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Cross-entropy between ``logits (..., C)`` and integer labels.
 
     Works for both classification ``(B, C)`` and per-point segmentation
     ``(B, N, C)`` shapes; labels must have the logits' leading shape.
@@ -31,16 +53,18 @@ def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     num_classes = logits.shape[-1]
     onehot = np.eye(num_classes)[labels.reshape(-1)].reshape(*labels.shape, num_classes)
     picked = (logp * Tensor(onehot)).sum(axis=-1)
-    return -picked.mean()
+    return -_reduce(picked, reduction)
 
 
-def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+def mse_loss(pred: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
     """Mean squared error against a constant target."""
     diff = pred - Tensor(np.asarray(target, dtype=np.float64))
-    return (diff * diff).mean()
+    return _reduce(diff * diff, reduction)
 
 
-def huber_loss(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
+def huber_loss(
+    pred: Tensor, target: np.ndarray, delta: float = 1.0, reduction: str = "mean"
+) -> Tensor:
     """Smooth-L1 loss, the standard choice for box regression heads.
 
     Implemented with differentiable primitives: quadratic inside ``delta``,
@@ -56,4 +80,4 @@ def huber_loss(pred: Tensor, target: np.ndarray, delta: float = 1.0) -> Tensor:
     sign = np.sign(pred.data - target)
     quad = diff * diff * 0.5
     lin = diff * Tensor(sign * delta) - 0.5 * delta * delta
-    return (quad * Tensor(quadratic_mask) + lin * Tensor(1.0 - quadratic_mask)).mean()
+    return _reduce(quad * Tensor(quadratic_mask) + lin * Tensor(1.0 - quadratic_mask), reduction)

@@ -1,0 +1,404 @@
+"""The closure-chained reverse-mode engine, retained as behavioral reference.
+
+This is the original ``nn/tensor.py`` autograd: each op records its parent
+tensors and a closure that accumulates gradients into them, and ``backward``
+fires the closures in reverse topological order.  It walks one op at a time
+by construction, which is exactly why it was replaced by the flat-tape
+engine in ``nn.tape`` / ``nn.tensor`` — and exactly why it stays: like
+``kdtree.exact`` and ``runtime.reference_top_phase``, it is the per-step
+ground truth the equivalence suite (``tests/test_nn_tape.py``) pins the
+tape engine's gradients against, bit for bit.
+
+Frozen under repro-lint's ``reference-freeze`` rule: this module must not
+import the tape or vectorized modules it exists to check.  Do not vectorize
+or "optimize" it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["ReferenceTensor", "reference_no_grad"]
+
+Arrayish = Union[np.ndarray, float, int, "ReferenceTensor"]
+
+_grad_enabled = True
+
+
+class reference_no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self) -> "reference_no_grad":
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (the reverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class ReferenceTensor:
+    """A differentiable array (closure-chained reference engine)."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+    __array_priority__ = 100  # numpy defers binary ops to ReferenceTensor
+
+    def __init__(self, data: Arrayish, requires_grad: bool = False):
+        if isinstance(data, ReferenceTensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple[ReferenceTensor, ...] = ()
+        self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["ReferenceTensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "ReferenceTensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = ReferenceTensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor (default seed: ones)."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that requires no grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad requires a scalar")
+            grad = np.ones_like(self.data)
+        # Topological order via DFS.
+        order: List[ReferenceTensor] = []
+        seen = set()
+        stack: List[Tuple[ReferenceTensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+        # Graph release: a finished pass must not retain the op graph.  The
+        # closures above close over parent tensors and forward intermediates,
+        # so dropping them here mirrors the tape engine freeing its entries.
+        for node in order:
+            node._parents = ()
+            node._backward_fn = None
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "ReferenceTensor":
+        return ReferenceTensor(self.data.copy(), requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferenceTensor(shape={self.data.shape}, "
+            f"requires_grad={self.requires_grad})"
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value: Arrayish) -> "ReferenceTensor":
+        return value if isinstance(value, ReferenceTensor) else ReferenceTensor(value)
+
+    def __add__(self, other: Arrayish) -> "ReferenceTensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return ReferenceTensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "ReferenceTensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return ReferenceTensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Arrayish) -> "ReferenceTensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: Arrayish) -> "ReferenceTensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: Arrayish) -> "ReferenceTensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return ReferenceTensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Arrayish) -> "ReferenceTensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return ReferenceTensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: Arrayish) -> "ReferenceTensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "ReferenceTensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return ReferenceTensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: Arrayish) -> "ReferenceTensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return ReferenceTensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "ReferenceTensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return ReferenceTensor._make(out_data, (self,), backward)
+
+    def log(self) -> "ReferenceTensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return ReferenceTensor._make(np.log(self.data), (self,), backward)
+
+    def relu(self) -> "ReferenceTensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return ReferenceTensor._make(self.data * mask, (self,), backward)
+
+    def tanh(self) -> "ReferenceTensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1 - out_data**2))
+
+        return ReferenceTensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "ReferenceTensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1 - out_data))
+
+        return ReferenceTensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "ReferenceTensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return ReferenceTensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "ReferenceTensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "ReferenceTensor":
+        """Max-reduce along ``axis``; gradient flows to the (first) argmax."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        expanded = self.data.max(axis=axis, keepdims=True)
+        mask = self.data == expanded
+        # Route gradient only to the first maximal element along the axis.
+        first = np.cumsum(mask, axis=axis) == 1
+        mask = mask & first
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(mask * g)
+
+        return ReferenceTensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape / indexing
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "ReferenceTensor":
+        out_data = self.data.reshape(*shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return ReferenceTensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "ReferenceTensor":
+        axes_tuple = axes if axes else tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(axes_tuple)
+        inverse = np.argsort(axes_tuple)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).transpose(inverse))
+
+        return ReferenceTensor._make(out_data, (self,), backward)
+
+    def take(self, indices: np.ndarray, axis: int = 0) -> "ReferenceTensor":
+        """Gather rows: the differentiable face of neighbor aggregation.
+
+        ``indices`` may be any integer array; the output shape is
+        ``indices.shape + self.shape[1:]`` for ``axis=0``.  The backward
+        pass scatter-adds, so repeated indices (replicated neighbors, as
+        bank-conflict elision produces) accumulate gradient correctly.
+        """
+        if axis != 0:
+            raise NotImplementedError("take supports axis=0 only")
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices.reshape(-1), np.asarray(grad).reshape(-1, *self.data.shape[1:]))
+            self._accumulate(full)
+
+        return ReferenceTensor._make(out_data, (self,), backward)
+
+    def concat(self, others: Sequence["ReferenceTensor"], axis: int = -1) -> "ReferenceTensor":
+        """Concatenate ``[self, *others]`` along ``axis``."""
+        tensors = [self] + [self._coerce(o) for o in others]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    slicer = [slice(None)] * g.ndim
+                    slicer[axis] = slice(start, stop)
+                    t._accumulate(g[tuple(slicer)])
+
+        return ReferenceTensor._make(out_data, tuple(tensors), backward)

@@ -1,4 +1,4 @@
-"""A small reverse-mode automatic differentiation engine over NumPy.
+"""Tape-based reverse-mode automatic differentiation over NumPy.
 
 The paper's training contribution (Sec. 5) needs gradients only through
 the MLP stack — neighbor search and aggregation construct MLP inputs and
@@ -6,17 +6,29 @@ do not participate in gradient flow — so a compact autograd with dense
 ops, gather, and max-reduction is sufficient to train every network in
 the evaluation.
 
-Design: a :class:`Tensor` wraps an ``ndarray``; each op records its parent
-tensors and a closure that accumulates gradients into them.  ``backward``
-runs a topological sort and applies the closures in reverse.  Broadcasting
-is handled by un-broadcasting gradients back to the parent's shape.
+Design: every op is a *registered primitive* — the forward computes the
+answer with plain NumPy and appends one entry to the flat module tape in
+``nn.tape``; per-argnum VJP makers (registered at the bottom of this file
+via ``tape.defvjp``) build the backward closures at record time.
+``backward()`` replays the tape in reverse instead of walking a
+closure-chained graph, and frees entries as it goes.  Broadcasting is
+handled by un-broadcasting gradients back to the parent's shape.
+
+The closure engine this replaced is frozen in ``nn.reference`` as
+``ReferenceTensor``; ``tests/test_nn_tape.py`` pins this engine's
+gradients bit-identically against it on randomized graphs covering every
+primitive, broadcasting, gather, and max-reduction ties.  Because ops
+here accept a stacked leading sample axis (see ``gather_rows``), one tape
+replay covers a whole mini-batch.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from . import tape
 
 __all__ = ["Tensor", "no_grad"]
 
@@ -26,7 +38,7 @@ _grad_enabled = True
 
 
 class no_grad:
-    """Context manager disabling graph construction (inference mode)."""
+    """Context manager disabling tape recording (inference mode)."""
 
     def __enter__(self) -> "no_grad":
         global _grad_enabled
@@ -39,24 +51,10 @@ class no_grad:
         _grad_enabled = self._prev
 
 
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
-    """Sum ``grad`` down to ``shape`` (the reverse of NumPy broadcasting)."""
-    if grad.shape == shape:
-        return grad
-    # Sum away prepended axes.
-    while grad.ndim > len(shape):
-        grad = grad.sum(axis=0)
-    # Sum over axes that were broadcast from size 1.
-    for axis, size in enumerate(shape):
-        if size == 1 and grad.shape[axis] != 1:
-            grad = grad.sum(axis=axis, keepdims=True)
-    return grad
-
-
 class Tensor:
     """A differentiable array."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+    __slots__ = ("data", "grad", "requires_grad", "_interior")
     __array_priority__ = 100  # numpy defers binary ops to Tensor
 
     def __init__(self, data: Arrayish, requires_grad: bool = False):
@@ -65,27 +63,29 @@ class Tensor:
         self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad) and _grad_enabled
         self.grad: Optional[np.ndarray] = None
-        self._parents: Tuple[Tensor, ...] = ()
-        self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
+        # True iff this tensor was produced by a recorded primitive; leaves
+        # (parameters, inputs) accumulate ``.grad`` directly during replay.
+        self._interior = False
 
     # ------------------------------------------------------------------
     # Graph machinery
     # ------------------------------------------------------------------
     @staticmethod
-    def _make(
-        data: np.ndarray,
-        parents: Sequence["Tensor"],
-        backward_fn: Callable[[np.ndarray], None],
+    def _from_op(
+        name: str,
+        parents: Tuple["Tensor", ...],
+        out_data: np.ndarray,
+        **op_state,
     ) -> "Tensor":
         requires = _grad_enabled and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        out = Tensor(out_data, requires_grad=requires)
         if requires:
-            out._parents = tuple(parents)
-            out._backward_fn = backward_fn
+            out._interior = True
+            tape.record(name, out, parents, **op_state)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = tape.unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -99,26 +99,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without grad requires a scalar")
             grad = np.ones_like(self.data)
-        # Topological order via DFS.
-        order: List[Tensor] = []
-        seen = set()
-        stack: List[Tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if parent.requires_grad and id(parent) not in seen:
-                    stack.append((parent, False))
-        self._accumulate(grad)
-        for node in reversed(order):
-            if node._backward_fn is not None and node.grad is not None:
-                node._backward_fn(node.grad)
+        tape.backward_pass(self, grad)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -162,56 +143,32 @@ class Tensor:
 
     def __add__(self, other: Arrayish) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data + other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad)
-            if other.requires_grad:
-                other._accumulate(grad)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._from_op("add", (self, other), self.data + other.data)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(-grad)
-
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._from_op("neg", (self,), -self.data)
 
     def __sub__(self, other: Arrayish) -> "Tensor":
-        return self + (-self._coerce(other))
+        # IEEE-754 subtraction is addition of the negation, so this single
+        # primitive is bit-identical to the reference's ``a + (-b)`` chain.
+        other = self._coerce(other)
+        return Tensor._from_op("sub", (self, other), self.data - other.data)
 
     def __rsub__(self, other: Arrayish) -> "Tensor":
-        return self._coerce(other) + (-self)
+        other = self._coerce(other)
+        return Tensor._from_op("sub", (other, self), other.data - self.data)
 
     def __mul__(self, other: Arrayish) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data * other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * other.data)
-            if other.requires_grad:
-                other._accumulate(grad * self.data)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._from_op("mul", (self, other), self.data * other.data)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: Arrayish) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data / other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / other.data)
-            if other.requires_grad:
-                other._accumulate(-grad * self.data / (other.data**2))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._from_op("div", (self, other), self.data / other.data)
 
     def __rtruediv__(self, other: Arrayish) -> "Tensor":
         return self._coerce(other) / self
@@ -219,89 +176,44 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out_data = self.data**exponent
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._from_op(
+            "pow", (self,), self.data**exponent, exponent=exponent
+        )
 
     def __matmul__(self, other: Arrayish) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data @ other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
-            if other.requires_grad:
-                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._from_op("matmul", (self, other), self.data @ other.data)
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._from_op("exp", (self,), np.exp(self.data))
 
     def log(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / self.data)
-
-        return Tensor._make(np.log(self.data), (self,), backward)
+        return Tensor._from_op("log", (self,), np.log(self.data))
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
-
-        return Tensor._make(self.data * mask, (self,), backward)
+        return Tensor._from_op("relu", (self,), self.data * mask, mask=mask)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (1 - out_data**2))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._from_op("tanh", (self,), np.tanh(self.data))
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data * (1 - out_data))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._from_op("sigmoid", (self,), 1.0 / (1.0 + np.exp(-self.data)))
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = np.asarray(grad)
-            if axis is not None and not keepdims:
-                axes = (axis,) if isinstance(axis, int) else tuple(axis)
-                for ax in sorted(a % self.data.ndim for a in axes):
-                    g = np.expand_dims(g, ax)
-            self._accumulate(np.broadcast_to(g, self.data.shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._from_op(
+            "sum",
+            (self,),
+            self.data.sum(axis=axis, keepdims=keepdims),
+            axis=axis,
+            keepdims=keepdims,
+        )
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -312,46 +224,36 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
-        """Max-reduce along ``axis``; gradient flows to the (first) argmax."""
+        """Max-reduce along ``axis``; gradient flows to the (first) argmax.
+
+        The tie mask is built by scattering ``argmax`` (which picks the
+        first maximum along the axis) instead of the reference engine's
+        equality + cumsum sweep — same positions, two fewer full-array
+        passes.  The backward stays ``mask * g`` so gradient bits (including
+        signed zeros) match the reference exactly.
+        """
         out_data = self.data.max(axis=axis, keepdims=keepdims)
-        expanded = self.data.max(axis=axis, keepdims=True)
-        mask = self.data == expanded
-        # Route gradient only to the first maximal element along the axis.
-        first = np.cumsum(mask, axis=axis) == 1
-        mask = mask & first
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = np.asarray(grad)
-            if not keepdims:
-                g = np.expand_dims(g, axis)
-            self._accumulate(mask * g)
-
-        return Tensor._make(out_data, (self,), backward)
+        first = np.argmax(self.data, axis=axis)
+        mask = np.zeros(self.data.shape, dtype=bool)
+        np.put_along_axis(mask, np.expand_dims(first, axis), True, axis=axis)
+        return Tensor._from_op(
+            "max", (self,), out_data, axis=axis, keepdims=keepdims, mask=mask
+        )
 
     # ------------------------------------------------------------------
     # Shape / indexing
     # ------------------------------------------------------------------
     def reshape(self, *shape: int) -> "Tensor":
-        out_data = self.data.reshape(*shape)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(np.asarray(grad).reshape(self.data.shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._from_op("reshape", (self,), self.data.reshape(*shape))
 
     def transpose(self, *axes: int) -> "Tensor":
         axes_tuple = axes if axes else tuple(reversed(range(self.data.ndim)))
-        out_data = self.data.transpose(axes_tuple)
-        inverse = np.argsort(axes_tuple)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(np.asarray(grad).transpose(inverse))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._from_op(
+            "transpose",
+            (self,),
+            self.data.transpose(axes_tuple),
+            inverse=np.argsort(axes_tuple),
+        )
 
     def take(self, indices: np.ndarray, axis: int = 0) -> "Tensor":
         """Gather rows: the differentiable face of neighbor aggregation.
@@ -364,30 +266,155 @@ class Tensor:
         if axis != 0:
             raise NotImplementedError("take supports axis=0 only")
         indices = np.asarray(indices, dtype=np.int64)
-        out_data = self.data[indices]
+        return Tensor._from_op("take", (self,), self.data[indices], indices=indices)
 
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            full = np.zeros_like(self.data)
-            np.add.at(full, indices.reshape(-1), np.asarray(grad).reshape(-1, *self.data.shape[1:]))
-            self._accumulate(full)
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Batched gather along the second-to-last axis.
 
-        return Tensor._make(out_data, (self,), backward)
+        For ``self`` of shape ``(..., N, C)`` and integer ``indices`` of
+        shape ``(..., M)`` (leading dims matching exactly), returns
+        ``(..., M, C)`` — each batch row gathers its own rows.  The backward
+        pass scatter-adds per batch row, bit-identical to looping ``take``
+        over the leading axes.  This is the primitive that lets one tape
+        entry cover a whole mini-batch of neighbor aggregations.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if self.data.ndim < 2:
+            raise ValueError("gather_rows needs at least 2 dims (rows, channels)")
+        if indices.shape[:-1] != self.data.shape[:-2]:
+            raise ValueError(
+                f"leading dims mismatch: indices {indices.shape[:-1]} vs "
+                f"data {self.data.shape[:-2]}"
+            )
+        out_data = np.take_along_axis(self.data, indices[..., None], axis=-2)
+        return Tensor._from_op("gather_rows", (self,), out_data, indices=indices)
 
     def concat(self, others: Sequence["Tensor"], axis: int = -1) -> "Tensor":
         """Concatenate ``[self, *others]`` along ``axis``."""
-        tensors = [self] + [self._coerce(o) for o in others]
+        tensors = tuple([self] + [self._coerce(o) for o in others])
         out_data = np.concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.data.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
+        return Tensor._from_op(
+            "concat", tensors, out_data, axis=axis, offsets=offsets
+        )
 
-        def backward(grad: np.ndarray) -> None:
-            g = np.asarray(grad)
-            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-                if t.requires_grad:
-                    slicer = [slice(None)] * g.ndim
-                    slicer[axis] = slice(start, stop)
-                    t._accumulate(g[tuple(slicer)])
 
-        return Tensor._make(out_data, tuple(tensors), backward)
+# ----------------------------------------------------------------------
+# VJP registration — one maker per argnum; every expression matches the
+# reference closure in nn.reference bit for bit.
+# ----------------------------------------------------------------------
+tape.defvjp(
+    "add",
+    lambda ans, a, b: lambda g: g,
+    lambda ans, a, b: lambda g: g,
+)
+tape.defvjp("neg", lambda ans, a: lambda g: -g)
+tape.defvjp(
+    "sub",
+    lambda ans, a, b: lambda g: g,
+    lambda ans, a, b: lambda g: -g,
+)
+tape.defvjp(
+    "mul",
+    lambda ans, a, b: lambda g: g * b,
+    lambda ans, a, b: lambda g: g * a,
+)
+tape.defvjp(
+    "div",
+    lambda ans, a, b: lambda g: g / b,
+    lambda ans, a, b: lambda g: -g * a / (b**2),
+)
+tape.defvjp(
+    "pow",
+    lambda ans, a, exponent: lambda g: g * exponent * a ** (exponent - 1),
+)
+tape.defvjp(
+    "matmul",
+    lambda ans, a, b: lambda g: g @ np.swapaxes(b, -1, -2),
+    lambda ans, a, b: lambda g: np.swapaxes(a, -1, -2) @ g,
+)
+tape.defvjp("exp", lambda ans, a: lambda g: g * ans)
+tape.defvjp("log", lambda ans, a: lambda g: g / a)
+tape.defvjp("relu", lambda ans, a, mask: lambda g: g * mask)
+tape.defvjp("tanh", lambda ans, a: lambda g: g * (1 - ans**2))
+tape.defvjp("sigmoid", lambda ans, a: lambda g: g * ans * (1 - ans))
+
+
+def _sum_vjp(ans, a, axis, keepdims):
+    shape, ndim = a.shape, a.ndim
+
+    def vjp(g):
+        g = np.asarray(g)
+        if axis is not None and not keepdims:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            for ax in sorted(x % ndim for x in axes):
+                g = np.expand_dims(g, ax)
+        return np.broadcast_to(g, shape)
+
+    return vjp
+
+
+tape.defvjp("sum", _sum_vjp)
+
+
+def _max_vjp(ans, a, axis, keepdims, mask):
+    def vjp(g):
+        g = np.asarray(g)
+        if not keepdims:
+            g = np.expand_dims(g, axis)
+        return mask * g
+
+    return vjp
+
+
+tape.defvjp("max", _max_vjp)
+
+tape.defvjp("reshape", lambda ans, a: lambda g: np.asarray(g).reshape(a.shape))
+tape.defvjp(
+    "transpose",
+    lambda ans, a, inverse: lambda g: np.asarray(g).transpose(inverse),
+)
+
+
+def _take_vjp(ans, a, indices):
+    def vjp(g):
+        full = np.zeros_like(a)
+        np.add.at(full, indices.reshape(-1), np.asarray(g).reshape(-1, *a.shape[1:]))
+        return full
+
+    return vjp
+
+
+tape.defvjp("take", _take_vjp)
+
+
+def _gather_rows_vjp(ans, a, indices):
+    def vjp(g):
+        full = np.zeros_like(a)
+        rows, channels = a.shape[-2], a.shape[-1]
+        flat = full.reshape(-1, rows, channels)
+        idx = indices.reshape(flat.shape[0], -1)
+        batch = np.arange(flat.shape[0])[:, None]
+        np.add.at(flat, (batch, idx), np.asarray(g).reshape(idx.shape + (channels,)))
+        return full
+
+    return vjp
+
+
+tape.defvjp("gather_rows", _gather_rows_vjp)
+
+
+def _concat_vjp(argnum, ans, *args, axis, offsets):
+    start, stop = offsets[argnum], offsets[argnum + 1]
+
+    def vjp(g):
+        g = np.asarray(g)
+        slicer = [slice(None)] * g.ndim
+        slicer[axis] = slice(start, stop)
+        return g[tuple(slicer)]
+
+    return vjp
+
+
+tape.defvjp_argnum("concat", _concat_vjp)

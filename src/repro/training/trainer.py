@@ -72,6 +72,16 @@ class _BaseTrainer:
     def _loss(self, sample, setting: ApproxSetting, cache_key: int):
         raise NotImplementedError
 
+    def _loss_batch(self, samples, settings, cache_keys):
+        """Per-sample loss vector ``(B,)`` for a stacked mini-batch.
+
+        Row ``b`` must equal ``_loss(samples[b], settings[b],
+        cache_keys[b])`` bit for bit under the current parameters — the
+        contract every ``forward_batch``/``reduction="per_sample"`` pair
+        in this repo upholds.
+        """
+        raise NotImplementedError
+
     def _dataset_items(self, dataset):
         return [(i, dataset[i]) for i in range(len(dataset))]
 
@@ -138,7 +148,11 @@ class _BaseTrainer:
 
     # ------------------------------------------------------------------
     def train(
-        self, dataset, epochs: int = 5, runner: Optional[SweepRunner] = None
+        self,
+        dataset,
+        epochs: int = 5,
+        runner: Optional[SweepRunner] = None,
+        batch_size: Optional[int] = None,
     ) -> TrainReport:
         """Run ``epochs`` passes; samples a fresh ``h`` per input.
 
@@ -150,7 +164,20 @@ class _BaseTrainer:
         loop runs (fanned across ``runner``'s process pool if given).
         Models without a ``query_plan`` skip materialization and compute
         per step, as before.
+
+        ``batch_size=None`` (default) keeps the historical per-sample
+        optimizer step.  An integer runs honest mini-batch SGD over the
+        *same* schedule (same RNG stream, same sample order, same
+        per-sample settings and cache keys): each chunk of the epoch
+        schedule is stacked through ``_loss_batch`` — one tape replay and
+        one optimizer step per chunk — and the per-sample losses recorded
+        in the report are bit-identical to what the per-sample loop would
+        compute *under the same parameters*.  ``batch_size=1`` reproduces
+        the default loop bit for bit; larger sizes change the optimization
+        trajectory exactly as mini-batching classically does.
         """
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError("batch_size must be positive or None")
         report = TrainReport()
         items = self._dataset_items(dataset)
         self.model.train()
@@ -172,14 +199,27 @@ class _BaseTrainer:
                 requests = plan.epoch_requests(epoch, plan_for)
                 if requests:
                     pipeline.materialize(requests, runner=runner)
-            losses = []
-            for setting, pos in zip(schedule.settings, schedule.order):
-                idx, sample = items[pos]
-                self.optimizer.zero_grad()
-                loss = self._loss(sample, setting, cache_key=idx)
-                loss.backward()
-                self.optimizer.step()
-                losses.append(loss.item())
+            losses: List[float] = []
+            if batch_size is None:
+                for setting, pos in zip(schedule.settings, schedule.order):
+                    idx, sample = items[pos]
+                    self.optimizer.zero_grad()
+                    loss = self._loss(sample, setting, cache_key=idx)
+                    loss.backward()
+                    self.optimizer.step()
+                    losses.append(loss.item())
+            else:
+                steps = list(zip(schedule.settings, schedule.order))
+                for lo in range(0, len(steps), batch_size):
+                    chunk = steps[lo : lo + batch_size]
+                    settings = [setting for setting, _pos in chunk]
+                    keys = [items[pos][0] for _setting, pos in chunk]
+                    samples = [items[pos][1] for _setting, pos in chunk]
+                    self.optimizer.zero_grad()
+                    per_sample = self._loss_batch(samples, settings, keys)
+                    per_sample.mean().backward()
+                    self.optimizer.step()
+                    losses.extend(float(x) for x in per_sample.data)
             report.epoch_losses.append(float(np.mean(losses)))
         return report
 
@@ -254,6 +294,12 @@ class ClassificationTrainer(_BaseTrainer):
         logits = self.model(cloud.points, setting, cache_key=cache_key)
         return softmax_cross_entropy(logits, np.array([label]))
 
+    def _loss_batch(self, samples, settings, cache_keys):
+        points = np.stack([cloud.points for cloud, _label in samples])
+        labels = np.array([[label] for _cloud, label in samples])
+        logits = self.model.forward_batch(points, settings, cache_keys)
+        return softmax_cross_entropy(logits, labels, reduction="per_sample")
+
     def _model_points(self, idx, sample):
         cloud, _label = sample
         return cloud.points
@@ -269,12 +315,21 @@ class ClassificationTrainer(_BaseTrainer):
         was_training = self.model.training
         self.model.eval()
         preds, labels = [], []
+        forward_batch = getattr(self.model, "forward_batch", None)
+        clouds = [dataset[i] for i in range(len(dataset))]
+        stackable = len({np.shape(cloud.points) for cloud, _label in clouds}) == 1
         with no_grad():
-            for i in range(len(dataset)):
-                cloud, label = dataset[i]
-                logits = self.model(cloud.points, setting, cache_key=("eval", i))
-                preds.append(int(logits.data.argmax()))
-                labels.append(label)
+            if forward_batch is not None and clouds and stackable:
+                points = np.stack([cloud.points for cloud, _label in clouds])
+                keys = [("eval", i) for i in range(len(clouds))]
+                logits = forward_batch(points, setting, keys)
+                preds = list(logits.data.reshape(len(clouds), -1).argmax(axis=-1))
+                labels = [label for _cloud, label in clouds]
+            else:
+                for i, (cloud, label) in enumerate(clouds):
+                    logits = self.model(cloud.points, setting, cache_key=("eval", i))
+                    preds.append(int(logits.data.argmax()))
+                    labels.append(label)
         # Restore the mode the model was actually in: evaluating an
         # eval-mode model must not silently flip it to training.
         if was_training:
@@ -293,6 +348,12 @@ class SegmentationTrainer(_BaseTrainer):
         cloud = sample
         logits = self.model(cloud.points, setting, cache_key=cache_key)
         return softmax_cross_entropy(logits, cloud.labels)
+
+    def _loss_batch(self, samples, settings, cache_keys):
+        points = np.stack([cloud.points for cloud in samples])
+        labels = np.stack([cloud.labels for cloud in samples])
+        logits = self.model.forward_batch(points, settings, cache_keys)
+        return softmax_cross_entropy(logits, labels, reduction="per_sample")
 
     def _model_points(self, idx, sample):
         return sample.points
@@ -315,21 +376,31 @@ class SegmentationTrainer(_BaseTrainer):
         was_training = self.model.training
         self.model.eval()
         all_preds, all_labels = [], []
+        clouds = [dataset[i] for i in range(len(dataset))]
+        forward_batch = getattr(self.model, "forward_batch", None)
+        stackable = len({np.shape(cloud.points) for cloud in clouds}) == 1
+
+        def predict(cloud, logits_data: np.ndarray) -> np.ndarray:
+            category = cloud.attrs.get("category")
+            if category in PART_CATEGORIES:
+                allowed = np.array([part_id(p) for p in PART_CATEGORIES[category]])
+                restricted = logits_data[:, allowed]
+                return allowed[restricted.argmax(axis=-1)]
+            return logits_data.argmax(axis=-1)
+
         with no_grad():
-            for i in range(len(dataset)):
-                cloud = dataset[i]
-                logits = self.model(cloud.points, setting, cache_key=("eval", i))
-                category = cloud.attrs.get("category")
-                if category in PART_CATEGORIES:
-                    allowed = np.array(
-                        [part_id(p) for p in PART_CATEGORIES[category]]
-                    )
-                    restricted = logits.data[:, allowed]
-                    preds = allowed[restricted.argmax(axis=-1)]
-                else:
-                    preds = logits.data.argmax(axis=-1)
-                all_preds.append(preds)
-                all_labels.append(cloud.labels)
+            if forward_batch is not None and clouds and stackable:
+                points = np.stack([cloud.points for cloud in clouds])
+                keys = [("eval", i) for i in range(len(clouds))]
+                logits = forward_batch(points, setting, keys)
+                for i, cloud in enumerate(clouds):
+                    all_preds.append(predict(cloud, logits.data[i]))
+                    all_labels.append(cloud.labels)
+            else:
+                for i, cloud in enumerate(clouds):
+                    logits = self.model(cloud.points, setting, cache_key=("eval", i))
+                    all_preds.append(predict(cloud, logits.data))
+                    all_labels.append(cloud.labels)
         if was_training:
             self.model.train()
         return mean_iou(
@@ -382,6 +453,23 @@ class DetectionTrainer(_BaseTrainer):
         box_loss = huber_loss(pred.box_params, target[None, :])
         return seg_loss + 2.0 * box_loss
 
+    def _loss_batch(self, samples, settings, cache_keys):
+        crops, seg_labels, targets = [], [], []
+        for scene, key in zip(samples, cache_keys):
+            box = scene.boxes[0]
+            crop, labels = self._frustum_sample(scene, box, seed=key)
+            crops.append(crop)
+            seg_labels.append(labels)
+            targets.append(self._box_target(crop, labels, box))
+        pred = self.model.forward_batch(np.stack(crops), settings, cache_keys)
+        seg_loss = softmax_cross_entropy(
+            pred.segmentation_logits, np.stack(seg_labels), reduction="per_sample"
+        )
+        box_loss = huber_loss(
+            pred.box_params, np.stack(targets)[:, None, :], reduction="per_sample"
+        )
+        return seg_loss + 2.0 * box_loss
+
     def _model_points(self, idx, sample):
         scene = sample
         crop, _ = self._frustum_sample(scene, scene.boxes[0], seed=idx)
@@ -403,14 +491,20 @@ class DetectionTrainer(_BaseTrainer):
         was_training = self.model.training
         self.model.eval()
         predicted, truth = [], []
+        crops = []
+        for i in range(len(dataset)):
+            scene = dataset[i]
+            truth.append(scene.boxes[0])
+            crops.append(
+                self._frustum_sample(scene, scene.boxes[0], seed=10_000 + i)[0]
+            )
         with no_grad():
-            for i in range(len(dataset)):
-                scene = dataset[i]
-                box = scene.boxes[0]
-                crop, _ = self._frustum_sample(scene, box, seed=10_000 + i)
-                pred = self.model(crop, setting, cache_key=("eval", i))
-                predicted.append(pred.decode(crop))
-                truth.append(box)
+            if crops:
+                keys = [("eval", i) for i in range(len(crops))]
+                pred = self.model.forward_batch(np.stack(crops), setting, keys)
+                predicted = [
+                    pred.sample(i).decode(crop) for i, crop in enumerate(crops)
+                ]
         if was_training:
             self.model.train()
         return detection_iou_geomean(predicted, truth)

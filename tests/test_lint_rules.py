@@ -104,6 +104,60 @@ class TestReferenceFreeze:
         )
         assert lint(tmp_path).findings == []
 
+    def test_autograd_reference_importing_tape_fires(self, tmp_path):
+        self._package(tmp_path)
+        write(tmp_path, "pkg/nn/__init__.py", "")
+        write(
+            tmp_path,
+            "pkg/nn/reference.py",
+            "from . import tape\n",
+        )
+        assert "reference-freeze" in rules_fired(lint(tmp_path))
+
+    def test_autograd_reference_importing_tensor_module_fires(self, tmp_path):
+        self._package(tmp_path)
+        write(tmp_path, "pkg/nn/__init__.py", "")
+        write(
+            tmp_path,
+            "pkg/nn/reference.py",
+            "def helper():\n"
+            "    from .tensor import Tensor\n"
+            "    return Tensor\n",
+        )
+        assert "reference-freeze" in rules_fired(lint(tmp_path))
+
+    def test_autograd_reference_importing_production_tensor_fires(self, tmp_path):
+        self._package(tmp_path)
+        write(tmp_path, "pkg/nn/__init__.py", "")
+        write(
+            tmp_path,
+            "pkg/nn/reference.py",
+            "from ..nn import Tensor\n",
+        )
+        assert "reference-freeze" in rules_fired(lint(tmp_path))
+
+    def test_autograd_reference_plain_numpy_allowed(self, tmp_path):
+        self._package(tmp_path)
+        write(tmp_path, "pkg/nn/__init__.py", "")
+        write(
+            tmp_path,
+            "pkg/nn/reference.py",
+            "import numpy as np\n"
+            "from typing import Optional\n",
+        )
+        assert lint(tmp_path).findings == []
+
+    def test_tensor_module_may_import_tape(self, tmp_path):
+        """Only the reference is frozen; the production engine is not."""
+        self._package(tmp_path)
+        write(tmp_path, "pkg/nn/__init__.py", "")
+        write(
+            tmp_path,
+            "pkg/nn/tensor.py",
+            "from . import tape\n",
+        )
+        assert lint(tmp_path).findings == []
+
 
 # ----------------------------------------------------------------------
 # cache-truthiness

@@ -1,0 +1,50 @@
+"""Repository hygiene: no compiled artifacts may be tracked.
+
+PR 8 untracked seven ``__pycache__/*.pyc`` files that had ridden along
+since the lint package landed.  Bytecode is interpreter-version-specific,
+diffs as binary noise, and can shadow stale code paths in review — so the
+ban is enforced both here (tier-1) and as a CI workflow step, keeping the
+guard active even when only one of the two lanes runs.
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FORBIDDEN_SUFFIXES = (".pyc", ".pyo", ".pyd", ".so", ".egg")
+FORBIDDEN_DIRS = ("__pycache__",)
+
+
+def _tracked_files():
+    proc = subprocess.run(
+        ["git", "ls-files", "-z"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:  # not a git checkout (e.g. exported tarball)
+        pytest.skip("git metadata unavailable")
+    return [p for p in proc.stdout.split("\0") if p]
+
+
+def test_no_tracked_compiled_artifacts():
+    tracked = _tracked_files()
+    offenders = [
+        p
+        for p in tracked
+        if p.endswith(FORBIDDEN_SUFFIXES)
+        or any(part in FORBIDDEN_DIRS for part in Path(p).parts)
+    ]
+    assert not offenders, (
+        "compiled artifacts are tracked; `git rm --cached` them and rely on "
+        f".gitignore: {offenders}"
+    )
+
+
+def test_gitignore_covers_bytecode():
+    ignore = (REPO_ROOT / ".gitignore").read_text()
+    for pattern in ("__pycache__/", "*.py[cod]"):
+        assert pattern in ignore, f".gitignore lost the {pattern!r} pattern"
