@@ -10,12 +10,16 @@ the coalesced results against per-request serving, and a conservative
 speed floor — well under the margin the full-size
 ``tests/test_runtime_perf.py`` bench demonstrates, so shared-runner noise
 cannot flake it, but far above the ~1x a per-request fallback measures.
+The measured numbers land in ``BENCH_serve.json`` (see :mod:`artifacts`),
+uploaded by CI so the serving-throughput trajectory accumulates across
+PRs.
 """
 
 import time
 
 import numpy as np
 
+from artifacts import write_bench_artifact
 from repro.runtime import SearchSession
 from repro.serve import QueryService
 
@@ -76,6 +80,19 @@ def test_coalesced_service_does_not_regress():
     assert stats.coalesce_factor == N_REQUESTS
 
     speedup = sequential_time / coalesced_time
+    write_bench_artifact(
+        "serve",
+        {
+            "cloud_size": N_POINTS,
+            "requests": N_REQUESTS,
+            "queries_per_request": QUERIES_PER_REQUEST,
+            "coalesce_factor": stats.coalesce_factor,
+            "s_sequential": round(sequential_time, 4),
+            "s_coalesced": round(coalesced_time, 4),
+            "speedup": round(speedup, 2),
+            "requests_per_s": round(N_REQUESTS / coalesced_time, 1),
+        },
+    )
     assert speedup >= MIN_SPEEDUP, (
         f"coalesced serving only {speedup:.2f}x faster "
         f"({sequential_time:.3f}s sequential vs {coalesced_time:.3f}s coalesced)"

@@ -145,28 +145,89 @@ class KdTree:
 
         Used by the property-based tests: every point appears at exactly one
         node, children respect the splitting plane, and depths/sizes are
-        consistent.
+        consistent.  The checks are expressed over Euler intervals — a
+        child's preorder interval is exactly its descendant set, so each
+        level's split planes are verified with one segmented min/max —
+        which keeps validation O(N log N) instead of the per-node subtree
+        walks (O(N^2) Python) that used to make full-size property tests
+        unaffordable.
         """
         n = self.num_nodes
         assert sorted(self.point_id.tolist()) == list(range(n))
-        for node in range(n):
-            dim = self.split_dim[node]
-            val = self.points[self.point_id[node], dim]
-            l, r = self.children(node)
-            if l >= 0:
-                assert self.depth[l] == self.depth[node] + 1
-                for nid in self.subtree_nodes(l):
-                    assert self.points[self.point_id[nid], dim] <= val + 1e-12
-            if r >= 0:
-                assert self.depth[r] == self.depth[node] + 1
-                for nid in self.subtree_nodes(r):
-                    assert self.points[self.point_id[nid], dim] >= val - 1e-12
-            size = 1
-            if l >= 0:
-                size += self.subtree_size[l]
-            if r >= 0:
-                size += self.subtree_size[r]
-            assert size == self.subtree_size[node]
+        nodes = np.arange(n)
+        l, r = self.left, self.right
+        has_l, has_r = l >= 0, r >= 0
+        assert (self.depth[l[has_l]] == self.depth[nodes[has_l]] + 1).all()
+        assert (self.depth[r[has_r]] == self.depth[nodes[has_r]] + 1).all()
+        # Leaves pin size 1, so the recurrence pins every size bottom-up.
+        expected_size = (
+            1
+            + np.where(has_l, self.subtree_size[np.where(has_l, l, 0)], 0)
+            + np.where(has_r, self.subtree_size[np.where(has_r, r, 0)], 0)
+        )
+        assert (self.subtree_size == expected_size).all()
+
+        # With sizes validated the Euler intervals are well-defined:
+        # a left child enters right after its parent, a right child after
+        # the whole left subtree.  (Computed locally: this must not mutate
+        # the lazy tin/tout cache of a tree that fails validation.)
+        tin = np.zeros(n, dtype=np.int64)
+        by_depth = np.argsort(self.depth, kind="stable")
+        height = int(self.depth[by_depth[-1]]) + 1
+        level_starts = np.searchsorted(self.depth[by_depth], np.arange(height + 1))
+        for d in range(height - 1):
+            level = by_depth[level_starts[d] : level_starts[d + 1]]
+            cl, cr = l[level], r[level]
+            chl, chr = cl >= 0, cr >= 0
+            tin[cl[chl]] = tin[level[chl]] + 1
+            right_base = (
+                tin[level]
+                + 1
+                + np.where(chl, self.subtree_size[np.where(chl, cl, 0)], 0)
+            )
+            tin[cr[chr]] = right_base[chr]
+        tout = tin + self.subtree_size
+        # Malformed wiring (e.g. a shared child) can push intervals out of
+        # range; fail as an assertion, not an IndexError in reduceat.
+        assert (tin >= 0).all() and (tout <= n).all()
+        pre_coords = self.points[self.point_id[np.argsort(tin)]]
+
+        def interval_extrema(children: np.ndarray):
+            """Per-child (min, max) coordinates over its preorder interval.
+
+            Children of one level have disjoint intervals; sorted by tin,
+            the interleaved starts/ends feed a single reduceat per bound
+            (odd slots are the gaps between intervals, discarded).
+            """
+            starts, ends = tin[children], tout[children]
+            bounds = np.empty(2 * len(children), dtype=np.int64)
+            bounds[0::2] = starts
+            bounds[1::2] = ends
+            if bounds[-1] == n:  # reduceat bounds must stay < n; the
+                bounds = bounds[:-1]  # trailing slice runs to the end anyway
+            mx = np.maximum.reduceat(pre_coords, bounds, axis=0)[0::2]
+            mn = np.minimum.reduceat(pre_coords, bounds, axis=0)[0::2]
+            return mn, mx
+
+        for d in range(height - 1):
+            level = by_depth[level_starts[d] : level_starts[d + 1]]
+            for side, children_all in (("left", l[level]), ("right", r[level])):
+                present = children_all >= 0
+                parents = level[present]
+                children = children_all[present]
+                if not len(children):
+                    continue
+                by_tin = np.argsort(tin[children])
+                parents, children = parents[by_tin], children[by_tin]
+                mn, mx = interval_extrema(children)
+                dims = self.split_dim[parents].astype(np.int64)
+                vals = self.points[self.point_id[parents], dims]
+                if side == "left":
+                    sel = np.take_along_axis(mx, dims[:, None], axis=1)[:, 0]
+                    assert (sel <= vals + 1e-12).all()
+                else:
+                    sel = np.take_along_axis(mn, dims[:, None], axis=1)[:, 0]
+                    assert (sel >= vals - 1e-12).all()
 
 
 def build_kdtree(points: np.ndarray, split_rule: str = "widest") -> KdTree:

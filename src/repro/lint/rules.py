@@ -92,29 +92,35 @@ class ReferenceFreezeRule(Rule):
     id = "reference-freeze"
     description = (
         "Reference engines (kdtree/traversal.py, kdtree/exact.py, "
-        "core/approx_search.py, runtime/topphase.py, nn/reference.py) must "
-        "not import the vectorized/tape engines they are the ground truth "
-        "for (runtime.batched, runtime.lockstep, vectorized_top_phase, "
-        "nn.tape, nn.tensor)."
+        "kdtree/build.py, core/approx_search.py, core/split_tree.py, "
+        "runtime/topphase.py, nn/reference.py) must not import the "
+        "vectorized/tape engines they are the ground truth for "
+        "(runtime.batched, runtime.lockstep, runtime.treebuild, "
+        "vectorized_top_phase, nn.tape, nn.tensor)."
     )
     motivation = (
         "ROADMAP standing constraint: the per-step reference paths are what "
         "the randomized equivalence suites pin the vectorized engines "
         "against; a reference that leans on the engine under test proves "
         "nothing.  PR 8 extends the freeze to the closure-walking autograd "
-        "reference that pins the tape engine's gradients bit for bit."
+        "reference that pins the tape engine's gradients bit for bit; PR 9 "
+        "to the per-node tree builders that pin the level-synchronous "
+        "runtime.treebuild constructors."
     )
 
     FROZEN_SUFFIXES = (
         "kdtree/traversal.py",
         "kdtree/exact.py",
+        "kdtree/build.py",
         "core/approx_search.py",
+        "core/split_tree.py",
         "runtime/topphase.py",
         "nn/reference.py",
     )
     FORBIDDEN_MODULES = (
         "runtime.batched",
         "runtime.lockstep",
+        "runtime.treebuild",
         "nn.tape",
         "nn.tensor",
     )
@@ -124,9 +130,13 @@ class ReferenceFreezeRule(Rule):
     FORBIDDEN_RUNTIME_SYMBOLS = {
         "batched",
         "lockstep",
+        "treebuild",
         "BatchedBallQuery",
         "VectorizedLockstep",
         "vectorized_top_phase",
+        "vectorized_build_kdtree",
+        "VectorizedSplitTree",
+        "euler_tour",
     }
     # The autograd reference must not lean on the tape engine it pins:
     # neither the submodules nor the production Tensor / tape helpers.

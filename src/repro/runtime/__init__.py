@@ -29,6 +29,11 @@ Four pieces, composable but independently usable:
   result memoization behind geometry-digested LRU caches (no stale hits
   when a caller reuses a cache key with mutated points; sentinel-based
   misses so cached falsy values are never recomputed).
+- :mod:`~repro.runtime.treebuild` — level-synchronous vectorized K-d
+  tree and split-tree construction (the serving cold path): bit-identical
+  to :func:`repro.kdtree.build.build_kdtree` / :class:`SplitTree`, built
+  in O(log N) NumPy passes instead of per-node Python; what sessions use
+  to fill cache misses by default.
 - :class:`SweepRunner` — fans parameter sweeps across ``multiprocessing``
   workers with deterministic, order-preserving results; its long-lived
   promotion :class:`WorkerProcess` (mailbox + heartbeat + in-place
@@ -71,6 +76,11 @@ from .network import layer_sampling_plan, run_network_grid, worker_session
 from .sweep import SweepRunner, WorkerProcess
 from .topphase import reference_top_phase, vectorized_top_phase
 
+# Imported last: treebuild pulls in repro.core (for the SplitTree base),
+# whose pipeline module imports .session from this package — everything
+# it needs is already bound above by the time that re-entrant import runs.
+from .treebuild import VectorizedSplitTree, euler_tour, vectorized_build_kdtree
+
 __all__ = [
     "layer_sampling_plan",
     "run_network_grid",
@@ -99,4 +109,7 @@ __all__ = [
     "WorkerProcess",
     "reference_top_phase",
     "vectorized_top_phase",
+    "VectorizedSplitTree",
+    "euler_tour",
+    "vectorized_build_kdtree",
 ]

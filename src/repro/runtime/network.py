@@ -152,7 +152,11 @@ def worker_session() -> SearchSession:
     Worker processes outlive individual sweep jobs, so trees, split-tree
     layouts, and memoized sampling plans pool across every job a worker
     executes — the same economy the in-process path gets from the
-    accelerator's own session.
+    accelerator's own session.  Cache misses are filled by the
+    level-synchronous builders (the session's default ``builder="vector"``
+    routing through :mod:`repro.runtime.treebuild`), so a worker's first
+    contact with a distinct cloud no longer pays the per-node Python
+    build.
     """
     global _WORKER_SESSION
     if _WORKER_SESSION is None:

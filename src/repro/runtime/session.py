@@ -148,9 +148,23 @@ class SearchSession:
     max_trees:
         Tree-cache capacity.  Trees are keyed by point-coordinate digest,
         so in-place mutation of a cloud naturally re-keys.
+    builder:
+        ``"vector"`` (default) fills cache misses with the
+        level-synchronous builders in :mod:`repro.runtime.treebuild`;
+        ``"reference"`` uses the per-node originals.  Bit-identical
+        either way (the treebuild equivalence suite pins this), so the
+        knob exists for A/B benchmarks, not behavior.
     """
 
-    def __init__(self, max_results: int = 512, max_trees: int = 64):
+    def __init__(
+        self,
+        max_results: int = 512,
+        max_trees: int = 64,
+        builder: str = "vector",
+    ):
+        if builder not in ("vector", "reference"):
+            raise ValueError(f"unknown builder {builder!r}")
+        self.builder = builder
         self.results = LruCache(max_results)
         self.trees = LruCache(max_trees)
         self.split_trees = LruCache(max_trees)
@@ -168,7 +182,14 @@ class SearchSession:
         key = geometry_digest(points) if digest is None else digest
         tree = self.trees.get(key, _MISS)
         if tree is _MISS:
-            tree = build_kdtree(points)
+            if self.builder == "vector":
+                # Imported lazily: treebuild imports repro.core (for the
+                # SplitTree base), which imports this module at load time.
+                from .treebuild import vectorized_build_kdtree
+
+                tree = vectorized_build_kdtree(points)
+            else:
+                tree = build_kdtree(points)
             self.trees.put(key, tree)
         return tree
 
@@ -180,14 +201,20 @@ class SearchSession:
         lays the split-tree memory image out once per ``h_t`` instead of
         once per layer call.
         """
-        # Imported here: repro.core.pipeline imports this module at load
-        # time, so a module-level import of repro.core would be circular.
-        from ..core.split_tree import SplitTree
-
         key = (tree_digest(tree), int(top_height))
         split = self.split_trees.get(key, _MISS)
         if split is _MISS:
-            split = SplitTree(tree, int(top_height))
+            # Imported here: repro.core.pipeline imports this module at
+            # load time, so a module-level import of repro.core (direct
+            # or via treebuild) would be circular.
+            if self.builder == "vector":
+                from .treebuild import VectorizedSplitTree
+
+                split = VectorizedSplitTree(tree, int(top_height))
+            else:
+                from ..core.split_tree import SplitTree
+
+                split = SplitTree(tree, int(top_height))
             self.split_trees.put(key, split)
         return split
 

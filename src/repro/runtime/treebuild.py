@@ -1,0 +1,312 @@
+"""Level-synchronous vectorized tree construction (the serving cold path).
+
+:func:`repro.kdtree.build.build_kdtree` pops one deque entry per node —
+~N Python iterations and N small ``argsort`` calls per cloud — and
+:class:`~repro.core.split_tree.SplitTree` lays out its DRAM image through
+per-node dict inserts plus a per-root Python stack walk.  Every *distinct*
+cloud pays both on first contact (the all-distinct sharded serving trace,
+``register()`` re-registration after a worker respawn, epoch
+materialization over many clouds), which makes tree construction the
+dominant cold-start cost now that every query engine is array code.
+
+This module rebuilds both structures with **all nodes of a depth level in
+one shot**, O(log N) NumPy passes total and no per-node Python:
+
+- :func:`vectorized_build_kdtree` — bit-identical to ``build_kdtree``
+  (all six node arrays, both split rules, including stable-argsort tie
+  routing on duplicate coordinates), pinned by the randomized equivalence
+  suite in ``tests/test_runtime_treebuild.py``.
+- :func:`euler_tour` — the preorder entry/exit intervals of
+  ``KdTree._ensure_euler``, computed level-synchronously.
+- :class:`VectorizedSplitTree` — a :class:`SplitTree` with an identical
+  DRAM layout (addresses, block order, totals) built from Euler-interval
+  arithmetic instead of per-node dict inserts.
+
+Why bit-identity needs care: the reference sorts each node's candidate
+list with a *stable* argsort, so ties on the split coordinate are routed
+by the candidates' **incoming order**, which is itself the outcome of the
+parent's stable sort — path-dependent, not original-index order.  The
+level-synchronous builder therefore carries candidate lists through the
+levels in exactly the reference's order and sorts each level with one
+segmented stable sort.  Coordinates are replaced by dense ranks
+(``np.unique`` inverse) once up front: equal coordinates get equal ranks,
+so the segmented integer key ``segment * n_uniq + rank`` reproduces the
+reference's comparisons exactly.  When the fused total-order key
+``key * m + position`` fits in int64 (every realistic cloud), an unstable
+``argsort`` of it is order-identical to the stable sort and measurably
+faster; otherwise we fall back to ``kind="stable"``.
+
+The per-node reference paths stay frozen as ground truth (ROADMAP
+standing constraint; `reference-freeze` lint rule): this module imports
+*from* them, never the other way around.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.split_tree import SplitTree
+from ..kdtree.build import NODE_BYTES, KdTree
+
+__all__ = [
+    "VectorizedSplitTree",
+    "euler_tour",
+    "vectorized_build_kdtree",
+]
+
+# Above this, the fused sort key S * n_uniq * m could overflow int64 and
+# the segmented sort falls back to kind="stable".  Reached only past ~2M
+# points per cloud (the key bound grows like n^3).
+_FUSED_KEY_LIMIT = 2**63 - 1
+
+
+def _stable_segment_order(
+    seg: np.ndarray, rank_vals: np.ndarray, num_segments: int, n_uniq: int
+) -> np.ndarray:
+    """Stable argsort of ``(seg, rank_vals)`` pairs, fastest safe way.
+
+    ``key = seg * n_uniq + rank_vals`` composes both into one int64; when
+    the further-fused ``key * m + position`` cannot overflow, sorting that
+    total-order key with the default (unstable) sort gives exactly the
+    stable order — every element's key is unique, and position is the
+    stable tie-break.
+    """
+    m = len(seg)
+    key = seg * n_uniq + rank_vals
+    if num_segments * n_uniq * m <= _FUSED_KEY_LIMIT:
+        return np.argsort(key * m + np.arange(m, dtype=np.int64))
+    return np.argsort(key, kind="stable")
+
+
+def vectorized_build_kdtree(points: np.ndarray, split_rule: str = "widest") -> KdTree:
+    """Build the same balanced K-d tree as :func:`build_kdtree`, level at a time.
+
+    Bit-identical output contract: the returned tree's ``point_id`` /
+    ``split_dim`` / ``left`` / ``right`` / ``depth`` / ``subtree_size``
+    arrays (values *and* dtypes) match ``build_kdtree(points, split_rule)``
+    exactly, for both split rules, on any input the reference accepts —
+    including duplicate coordinates, where tie routing follows the
+    reference's stable argsort.
+
+    BFS node-id assignment in the reference is level-order numbering, and
+    the FIFO pop order within a level is "parent order, left child before
+    right" — exactly the segment order this builder maintains, so node ids
+    come out identical without any renumbering pass.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must be (N, 3), got {points.shape}")
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot build a K-d tree over zero points")
+    if split_rule not in ("widest", "cycle"):
+        raise ValueError(f"unknown split_rule {split_rule!r}")
+
+    point_id = np.empty(n, dtype=np.int64)
+    split_dim = np.zeros(n, dtype=np.int8)
+    left = np.full(n, -1, dtype=np.int64)
+    right = np.full(n, -1, dtype=np.int64)
+    depth = np.zeros(n, dtype=np.int32)
+    subtree_size = np.zeros(n, dtype=np.int64)
+
+    # Presort once per dimension: dense coordinate ranks.  A stable sort
+    # by coordinate is a stable sort by dense rank (equal coordinates ⇒
+    # equal ranks), and integer ranks compose into the segmented key.
+    cols = [np.ascontiguousarray(points[:, k]) for k in range(3)]
+    ranks = np.empty((3, n), dtype=np.int64)
+    n_uniq = 1
+    for k in range(3):
+        uniq, inv = np.unique(cols[k], return_inverse=True)
+        ranks[k] = inv.reshape(-1)
+        n_uniq = max(n_uniq, len(uniq))
+    ranks_flat = ranks.reshape(-1)
+
+    # Level state: the concatenated candidate lists of every open segment
+    # (= node under construction), in the reference's queue order.
+    ids = np.arange(n, dtype=np.int64)
+    seg_start = np.zeros(1, dtype=np.int64)
+    base = 0
+    d = 0
+    while len(ids):
+        m = len(ids)
+        num_segments = len(seg_start)
+        seg_len = np.diff(np.append(seg_start, m))
+        seg = np.repeat(np.arange(num_segments, dtype=np.int64), seg_len)
+
+        if split_rule == "widest":
+            # Largest-extent dim per segment.  np.argmax takes the lowest
+            # index on ties, matching the reference; a 1-point segment has
+            # all-zero extents ⇒ dim 0, matching its len==1 special case.
+            extents = np.empty((num_segments, 3))
+            for k in range(3):
+                c = cols[k][ids]
+                extents[:, k] = np.maximum.reduceat(c, seg_start) - np.minimum.reduceat(
+                    c, seg_start
+                )
+            dim = np.argmax(extents, axis=1)
+        else:
+            dim = np.full(num_segments, d % 3, dtype=np.int64)
+
+        rank_vals = ranks_flat[dim[seg] * n + ids]
+        order = _stable_segment_order(seg, rank_vals, num_segments, n_uniq)
+        sorted_ids = ids[order]
+
+        med_off = (seg_len - 1) // 2
+        med_pos = seg_start + med_off
+        nodes = base + np.arange(num_segments, dtype=np.int64)
+        point_id[nodes] = sorted_ids[med_pos]
+        split_dim[nodes] = dim.astype(np.int8)
+        depth[nodes] = d
+        subtree_size[nodes] = seg_len
+
+        # Children ids: the next level numbers its nodes in this level's
+        # segment order, left before right, skipping empty sides.
+        left_len = med_off
+        right_len = seg_len - 1 - med_off
+        has_left = left_len > 0
+        has_right = right_len > 0
+        child_base = np.concatenate(
+            ([0], np.cumsum(has_left.astype(np.int64) + has_right)[:-1])
+        )
+        next_base = base + num_segments
+        left[nodes[has_left]] = next_base + child_base[has_left]
+        right[nodes[has_right]] = next_base + child_base[has_right] + has_left[has_right]
+
+        # Drop the medians; what remains, in sorted order, is exactly the
+        # concatenation of every child segment in id order.
+        keep = np.ones(m, dtype=bool)
+        keep[med_pos] = False
+        ids = sorted_ids[keep]
+        child_lens = np.stack([left_len, right_len], axis=1).ravel()
+        child_lens = child_lens[child_lens > 0]
+        seg_start = np.concatenate(([0], np.cumsum(child_lens)[:-1]))
+        base = next_base
+        d += 1
+
+    return KdTree(
+        points=points,
+        point_id=point_id,
+        split_dim=split_dim,
+        left=left,
+        right=right,
+        depth=depth,
+        subtree_size=subtree_size,
+    )
+
+
+def euler_tour(tree: KdTree) -> Tuple[np.ndarray, np.ndarray]:
+    """Preorder entry/exit intervals of ``tree``, level-synchronously.
+
+    Identical values to ``KdTree._ensure_euler`` (the per-node stack
+    walk): ``tin`` is the preorder visit index, ``tout = tin +
+    subtree_size``, and node ``b`` lies in the subtree of ``a`` iff
+    ``tin[a] <= tin[b] < tout[a]``.  The computed arrays are cached onto
+    ``tree.tin`` / ``tree.tout`` exactly as the reference would.
+    """
+    if tree.tin is not None and tree.tout is not None:
+        return tree.tin, tree.tout
+    n = tree.num_nodes
+    left, right, size, depth = tree.left, tree.right, tree.subtree_size, tree.depth
+    tin = np.zeros(n, dtype=np.int64)
+    order = np.argsort(depth, kind="stable")
+    height = int(depth[order[-1]]) + 1
+    starts = np.searchsorted(depth[order], np.arange(height + 1))
+    # A left child enters right after its parent; a right child after the
+    # whole left subtree.  One pass per level resolves every interval.
+    for d in range(height - 1):
+        nodes = order[starts[d] : starts[d + 1]]
+        l, r = left[nodes], right[nodes]
+        has_l, has_r = l >= 0, r >= 0
+        tin[l[has_l]] = tin[nodes[has_l]] + 1
+        right_base = tin[nodes] + 1 + np.where(has_l, size[np.where(has_l, l, 0)], 0)
+        tin[r[has_r]] = right_base[has_r]
+    tout = tin + size
+    tree.tin = tin
+    tree.tout = tout
+    return tin, tout
+
+
+class VectorizedSplitTree(SplitTree):
+    """A :class:`SplitTree` with an array-built (but identical) DRAM layout.
+
+    Same constructor contract, same layout (top tree first, then each
+    sub-tree block in ascending root-id order, nodes in preorder within a
+    block), same per-node addresses and totals — the split-tree
+    equivalence suite pins every accessor against the reference.  The
+    per-node dict inserts and per-root Python stack walks are replaced by
+    Euler-interval arithmetic:
+
+    - a node's position inside its sub-tree block is ``tin[node] -
+      tin[root]`` (preorder offset);
+    - the owning root of a non-top node is a ``searchsorted`` over the
+      roots' disjoint ``tin`` intervals;
+    - any subtree's preorder node list is a slice of the global preorder
+      permutation — which also serves parked queries routed to a node
+      *above* the sub-tree level in O(subtree) instead of a fresh walk.
+    """
+
+    def __init__(self, tree: KdTree, top_height: int):
+        if top_height < 0:
+            raise ValueError("top_height must be non-negative")
+        if top_height >= tree.height:
+            raise ValueError(
+                f"top_height {top_height} must be < tree height {tree.height}"
+            )
+        self.tree = tree
+        self.top_height = top_height
+        n = tree.num_nodes
+        if top_height == 0:
+            self._top_nodes = np.empty(0, dtype=np.int64)
+            self.subtree_roots = np.array([tree.root], dtype=np.int64)
+        else:
+            self._top_nodes = np.nonzero(tree.depth < top_height)[0]
+            self.subtree_roots = np.nonzero(tree.depth == top_height)[0]
+
+        tin, tout = euler_tour(tree)
+        self._tin = tin
+        self._tout = tout
+        self._preorder = np.argsort(tin)
+
+        address = np.empty(n, dtype=np.int64)
+        num_top = len(self._top_nodes)
+        address[self._top_nodes] = np.arange(num_top, dtype=np.int64) * NODE_BYTES
+        roots = self.subtree_roots
+        sizes = tout[roots] - tin[roots]
+        bases = (num_top + np.concatenate(([0], np.cumsum(sizes[:-1])))) * NODE_BYTES
+
+        base_of_root = np.zeros(n, dtype=np.int64)
+        base_of_root[roots] = bases
+        by_tin = np.argsort(tin[roots])
+        roots_by_tin = roots[by_tin]
+        is_top = np.zeros(n, dtype=bool)
+        is_top[self._top_nodes] = True
+        nontop = np.nonzero(~is_top)[0]
+        slot = np.searchsorted(tin[roots_by_tin], tin[nontop], side="right") - 1
+        owner = roots_by_tin[slot]
+        address[nontop] = base_of_root[owner] + (tin[nontop] - tin[owner]) * NODE_BYTES
+        self._address = address
+
+        # Kept for attribute compatibility with the reference (tests and
+        # tooling peek at the bases); small — one entry per sub-tree.
+        self._subtree_base = dict(zip(map(int, roots), map(int, bases)))
+        self._subtree_nodes: dict = {}
+        self._total_bytes = int(num_top + sizes.sum()) * NODE_BYTES
+
+    def subtree_nodes(self, root: int) -> np.ndarray:
+        r = int(root)
+        return self._preorder[self._tin[r] : self._tout[r]]
+
+    def max_subtree_nodes(self) -> int:
+        return int(self.tree.subtree_size[self.subtree_roots].max())
+
+    def dram_address_of(self, node: int) -> int:
+        return int(self._address[int(node)])
+
+    def queue_occupancy(self, queries: np.ndarray) -> dict:
+        roots = self.route_queries(queries)
+        occ = dict.fromkeys(map(int, self.subtree_roots.tolist()), 0)
+        uniq, counts = np.unique(roots, return_counts=True)
+        occ.update(zip(map(int, uniq.tolist()), map(int, counts.tolist())))
+        return occ

@@ -14,8 +14,11 @@ Inbox protocol (tuples, first element is the kind):
 ``("register", digest, points)``
     Pin ``points`` in the worker's cloud registry and warm its K-d tree
     into the session, so later handle-only submits for ``digest`` ship no
-    geometry.  Fire-and-forget: the inbox is FIFO, so a batch enqueued
-    after a register is always served after it.
+    geometry.  The eager build runs through the session's vectorized
+    cold path (:mod:`repro.runtime.treebuild`) — registration storms
+    after a respawn re-register every pinned cloud, so this build is on
+    the recovery critical path.  Fire-and-forget: the inbox is FIFO, so
+    a batch enqueued after a register is always served after it.
 ``("batch", batch_id, jobs)``
     Serve ``jobs`` — each ``(job_id, digest, points_or_None, queries,
     radius, max_neighbors)`` — through the local coalescing service (one

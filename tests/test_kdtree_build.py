@@ -77,9 +77,59 @@ class TestBuild:
         assert tree.num_nodes == 9
 
 
+class TestValidate:
+    """The Euler-interval rewrite of ``validate`` (the old per-node
+    subtree walks were O(N^2)) must still catch every corruption class."""
+
+    def _tree(self, n=64, seed=7):
+        return build_kdtree(random_points(n, seed=seed))
+
+    def test_full_size_tree_is_fast(self):
+        # ~10k nodes took minutes under the quadratic walk; now trivial.
+        build_kdtree(random_points(10_000, seed=1)).validate()
+
+    def test_detects_duplicated_point_id(self):
+        tree = self._tree()
+        tree.point_id[0] = tree.point_id[1]
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_detects_wrong_depth(self):
+        tree = self._tree()
+        tree.depth[tree.left[0]] += 1
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_detects_wrong_subtree_size(self):
+        tree = self._tree()
+        tree.subtree_size[0] -= 1
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_detects_split_plane_violation(self):
+        tree = self._tree()
+        node = 0
+        assert tree.left[node] >= 0 and tree.right[node] >= 0
+        tree.split_dim[node] = (tree.split_dim[node] + 1) % 3
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_detects_shared_child(self):
+        tree = self._tree()
+        leaves = np.nonzero((tree.left < 0) & (tree.right < 0))[0]
+        tree.left[leaves[0]] = tree.root
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_does_not_pollute_euler_cache(self):
+        tree = self._tree()
+        tree.validate()
+        assert tree.tin is None and tree.tout is None
+
+
 @settings(max_examples=25, deadline=None)
 @given(
-    n=st.integers(min_value=1, max_value=120),
+    n=st.integers(min_value=1, max_value=512),
     seed=st.integers(min_value=0, max_value=2**31),
 )
 def test_property_structural_invariants(n, seed):

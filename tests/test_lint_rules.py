@@ -158,6 +158,64 @@ class TestReferenceFreeze:
         )
         assert lint(tmp_path).findings == []
 
+    # -- PR 9: the per-node tree builders join the freeze ---------------
+
+    def test_reference_builder_importing_treebuild_fires(self, tmp_path):
+        self._package(tmp_path)
+        write(
+            tmp_path,
+            "pkg/kdtree/build.py",
+            "from ..runtime.treebuild import vectorized_build_kdtree\n",
+        )
+        assert "reference-freeze" in rules_fired(lint(tmp_path))
+
+    def test_split_tree_importing_treebuild_module_fires(self, tmp_path):
+        self._package(tmp_path)
+        write(
+            tmp_path,
+            "pkg/core/split_tree.py",
+            "def helper():\n"
+            "    import repro.runtime.treebuild\n"
+            "    return repro.runtime.treebuild\n",
+        )
+        assert "reference-freeze" in rules_fired(lint(tmp_path))
+
+    def test_split_tree_importing_vectorized_symbol_fires(self, tmp_path):
+        self._package(tmp_path)
+        write(
+            tmp_path,
+            "pkg/core/split_tree.py",
+            "from ..runtime import VectorizedSplitTree\n",
+        )
+        assert "reference-freeze" in rules_fired(lint(tmp_path))
+
+    def test_reference_builder_plain_numpy_allowed(self, tmp_path):
+        self._package(tmp_path)
+        write(
+            tmp_path,
+            "pkg/kdtree/build.py",
+            "import numpy as np\n"
+            "from dataclasses import dataclass\n",
+        )
+        write(
+            tmp_path,
+            "pkg/core/split_tree.py",
+            "from ..kdtree.build import NODE_BYTES, KdTree\n",
+        )
+        assert lint(tmp_path).findings == []
+
+    def test_treebuild_may_import_the_references(self, tmp_path):
+        """The freeze is one-directional: the fast path builds ON the
+        reference structures."""
+        self._package(tmp_path)
+        write(
+            tmp_path,
+            "pkg/runtime/treebuild.py",
+            "from ..core.split_tree import SplitTree\n"
+            "from ..kdtree.build import NODE_BYTES, KdTree\n",
+        )
+        assert lint(tmp_path).findings == []
+
 
 # ----------------------------------------------------------------------
 # cache-truthiness
