@@ -24,9 +24,14 @@ import os
 import resource
 import sys
 import time
-from typing import Dict
+from typing import Dict, Sequence
 
-__all__ = ["ARTIFACT_DIR_ENV", "peak_rss_bytes", "write_bench_artifact"]
+__all__ = [
+    "ARTIFACT_DIR_ENV",
+    "latency_percentiles",
+    "peak_rss_bytes",
+    "write_bench_artifact",
+]
 
 # Benches write into $REPRO_BENCH_DIR (CI leaves the default, so the
 # upload step globs bench_artifacts/BENCH_*.json at the workspace root).
@@ -40,6 +45,28 @@ def peak_rss_bytes() -> int:
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     # ru_maxrss is KiB on Linux, bytes on macOS.
     return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def latency_percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    """p50/p99 of per-request latency ``samples`` (seconds), as ms fields.
+
+    The shared shape serve-record payloads carry: ``{"p50_ms", "p99_ms"}``,
+    nearest-rank on the sorted samples so a tiny bench population doesn't
+    interpolate a latency no request actually saw.  Empty input yields an
+    empty dict (the bench simply contributes no latency section).
+    """
+    ordered = sorted(float(s) for s in samples)
+    if not ordered:
+        return {}
+
+    def rank(q: float) -> float:
+        idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[idx]
+
+    return {
+        "p50_ms": round(rank(0.50) * 1000.0, 3),
+        "p99_ms": round(rank(0.99) * 1000.0, 3),
+    }
 
 
 def write_bench_artifact(area: str, payload: Dict) -> str:

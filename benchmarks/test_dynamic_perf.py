@@ -1,0 +1,69 @@
+"""Benchmark-lane guard for incremental dynamic-cloud maintenance.
+
+The dynamic overlay exists so a continuously mutating cloud does not pay
+a full index rebuild on every frame; a regression that quietly fell back
+to rebuild-from-scratch would keep every result bit-identical (the
+parity contract guarantees it) while destroying the maintenance win.
+This bench runs in the CI smoke lane: a low-churn drifting-scene trace
+served twice through ``QueryService`` dynamic handles — incremental
+maintenance versus rebuild-per-frame — with bit-identity asserted first
+and then a conservative wall-clock floor (the measured margin is ~3x;
+the floor is 2x so shared-runner noise cannot flake it, while a
+rebuild-shaped regression measures ~1x and trips it cleanly).  The
+numbers land in ``BENCH_dynamic.json`` (see :mod:`artifacts`), including
+p50/p99 submit-to-serve latency on the incremental path.
+"""
+
+from artifacts import latency_percentiles, write_bench_artifact
+from repro.serve import replay_drift_trace
+
+NUM_POINTS = 4096
+NUM_FRAMES = 30
+CHURN = 0.01  # low churn: the regime incremental maintenance targets
+QUERIES_PER_FRAME = 16
+REPEATS = 3
+MIN_SPEEDUP = 2.0
+
+
+def test_incremental_maintenance_does_not_regress():
+    best = None
+    for _ in range(REPEATS):
+        report = replay_drift_trace(
+            num_frames=NUM_FRAMES,
+            requests_per_frame=1,
+            queries_per_request=QUERIES_PER_FRAME,
+            num_points=NUM_POINTS,
+            churn=CHURN,
+            seed=11,
+        )
+        # Identity first: every frame's results must match the
+        # rebuild-from-scratch-per-frame service bit for bit.
+        assert report.results_identical
+        if best is None or report.speedup > best.speedup:
+            best = report
+
+    write_bench_artifact(
+        "dynamic",
+        {
+            "cloud_size": NUM_POINTS,
+            "frames": NUM_FRAMES,
+            "churn": CHURN,
+            "queries_per_frame": QUERIES_PER_FRAME,
+            "s_incremental": round(best.incremental_time, 4),
+            "s_rebuild": round(best.rebuild_time, 4),
+            "speedup": round(best.speedup, 2),
+            "points_indexed_incremental": best.incremental_points_indexed,
+            "points_indexed_rebuild": best.rebuild_points_indexed,
+            "frames_per_s": round(NUM_FRAMES / best.incremental_time, 1),
+            # Per-request submit-to-serve latency, incremental path.
+            **latency_percentiles(best.incremental_waits),
+        },
+    )
+    # The structural evidence cannot flake: incremental must index far
+    # fewer points than a per-frame rebuild regardless of runner noise.
+    assert best.incremental_points_indexed * 4 < best.rebuild_points_indexed
+    assert best.speedup >= MIN_SPEEDUP, (
+        f"incremental maintenance only {best.speedup:.2f}x faster than "
+        f"rebuild-per-frame ({best.incremental_time:.3f}s vs "
+        f"{best.rebuild_time:.3f}s over {NUM_FRAMES} frames)"
+    )

@@ -3,7 +3,14 @@
 from .pointcloud import PointCloud
 from .synthetic import SHAPE_GENERATORS, sample_shape, shape_class_names, random_rotation
 from .partseg import PART_CATEGORIES, num_part_classes, sample_part_object
-from .scenes import Box3D, LidarScene, box_iou_bev, generate_scene
+from .scenes import (
+    Box3D,
+    FrameDrift,
+    FrameMutation,
+    LidarScene,
+    box_iou_bev,
+    generate_scene,
+)
 from .transforms import Compose, Jitter, RandomDropout, RandomScale, RandomYawRotation
 from .datasets import (
     LidarDetectionDataset,
@@ -21,6 +28,8 @@ __all__ = [
     "num_part_classes",
     "sample_part_object",
     "Box3D",
+    "FrameDrift",
+    "FrameMutation",
     "LidarScene",
     "box_iou_bev",
     "generate_scene",

@@ -18,7 +18,14 @@ import numpy as np
 
 from .pointcloud import PointCloud
 
-__all__ = ["Box3D", "LidarScene", "generate_scene", "box_iou_bev"]
+__all__ = [
+    "Box3D",
+    "FrameDrift",
+    "FrameMutation",
+    "LidarScene",
+    "generate_scene",
+    "box_iou_bev",
+]
 
 
 @dataclass
@@ -163,6 +170,99 @@ def generate_scene(
         labels[box.contains(pts)] = 1  # 1 = car, 0 = background
     cloud = PointCloud(pts, labels=labels, attrs={"extent": extent})
     return LidarScene(cloud=cloud, boxes=boxes)
+
+
+@dataclass
+class FrameMutation:
+    """One frame of cloud drift: slots to remove, coordinates to insert.
+
+    ``removes`` names slots by id — valid because the generator mirrors
+    the :class:`~repro.kdtree.dynamic.DynamicKdTree` slot contract
+    (inserts take sequential ids starting at the initial cloud size), so
+    it can address any replica of the stream without ever seeing one.
+    """
+
+    inserts: np.ndarray  # (k, 3) float64
+    removes: np.ndarray  # (k,) int64 slot ids
+
+
+class FrameDrift:
+    """Deterministic frame-to-frame drift over a synthetic LiDAR scene.
+
+    Seeds a :func:`generate_scene` cloud, then on every :meth:`step`
+    removes a ``churn`` fraction of the alive points and re-inserts them
+    translated by a slowly rotating drift velocity plus jitter — the
+    moving-scene workload (tracking, SLAM-style revisits) the dynamic
+    serving path exists for.  Everything is drawn from one seeded
+    generator, so two replays of the same seed produce bit-identical
+    mutation streams and query batches; the mutating-cloud trace in
+    :mod:`repro.serve.trace` leans on that to feed identical frames to
+    the incremental and rebuild-from-scratch services.
+    """
+
+    def __init__(
+        self,
+        num_points: int = 2048,
+        churn: float = 0.02,
+        num_cars: int = 3,
+        extent: float = 30.0,
+        drift: float = 0.2,
+        seed: int = 0,
+    ):
+        if not 0.0 < churn <= 1.0:
+            raise ValueError("churn must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        self.scene = generate_scene(
+            rng, num_points=num_points, num_cars=num_cars, extent=extent
+        )
+        self.initial_points = np.asarray(
+            self.scene.cloud.points, dtype=np.float64
+        ).copy()
+        self.churn = float(churn)
+        self.drift = float(drift)
+        self._rng = rng
+        self._frame = 0
+        # Slot-space mirror (the same contract every DynamicKdTree
+        # replica of this stream follows).
+        self._coords = self.initial_points.copy()
+        self._alive = np.ones(len(self._coords), dtype=bool)
+
+    @property
+    def alive_count(self) -> int:
+        return int(self._alive.sum())
+
+    def step(self) -> FrameMutation:
+        """Advance one frame; returns its mutation batch."""
+        alive_slots = np.nonzero(self._alive)[0]
+        k = max(1, int(round(self.churn * len(alive_slots))))
+        k = min(k, len(alive_slots))
+        removes = np.sort(self._rng.choice(alive_slots, size=k, replace=False))
+        angle = 0.13 * self._frame
+        velocity = self.drift * np.array([np.cos(angle), np.sin(angle), 0.0])
+        inserts = (
+            self._coords[removes]
+            + velocity
+            + self._rng.normal(scale=0.02, size=(k, 3))
+        )
+        self._alive[removes] = False
+        self._coords = np.concatenate([self._coords, inserts])
+        self._alive = np.concatenate([self._alive, np.ones(k, dtype=bool)])
+        self._frame += 1
+        return FrameMutation(inserts=inserts, removes=removes.astype(np.int64))
+
+    def frames(self, n: int) -> List[FrameMutation]:
+        """The next ``n`` frames as a list (drawn eagerly, in order)."""
+        return [self.step() for _ in range(n)]
+
+    def sample_queries(self, m: int) -> np.ndarray:
+        """``m`` query points near the current alive surface.
+
+        Drawn from the same seeded stream as the mutations, so a trace
+        replayed frame by frame hands every service the identical batch.
+        """
+        alive_slots = np.nonzero(self._alive)[0]
+        anchors = self._rng.choice(alive_slots, size=m, replace=True)
+        return self._coords[anchors] + self._rng.normal(scale=0.5, size=(m, 3))
 
 
 def _polygon_area(poly: np.ndarray) -> float:

@@ -1,0 +1,169 @@
+"""Rebuild-from-scratch ground truth for dynamic (mutating) clouds.
+
+This module is the parity anchor for :mod:`repro.kdtree.dynamic`: after
+every frame of inserts/removes, the reference answer is obtained by
+rebuilding a K-d tree from scratch over the alive points (via the frozen
+per-node :func:`repro.kdtree.build.build_kdtree`) and running the frozen
+per-step :func:`repro.kdtree.exact.radius_search` per query.  The
+incremental overlay must match these results **bit for bit** on every
+frame; the dynamic equivalence suites pin that.
+
+Like the other reference engines it is deliberately per-step and must
+stay that way (the ``reference-freeze`` repro-lint rule enforces the
+import direction: :mod:`repro.kdtree.dynamic` may import the contract
+helpers below, this module must never import the incremental fast path).
+
+Canonical result contract
+-------------------------
+A balanced median tree's *structure* is a global function of the point
+array — one insert shifts medians everywhere — so an incremental index
+cannot reproduce the scratch tree's DFS visit order.  What both paths can
+agree on exactly is the *neighbor set*, so dynamic queries return results
+in a canonical, structure-independent order:
+
+* a hit is any alive slot with squared distance ``d2 <= radius**2``,
+  where ``d2`` is computed by :func:`pair_d2` (one shared formula, so the
+  membership test and the sort keys are bit-equal across engines);
+* per query, hits sort ascending by ``(d2, slot id)`` and truncate at
+  that query's ``K``;
+* rows with at least one hit pad the remaining columns by repeating the
+  first (nearest) neighbor; rows with no hits are ``-1``-filled with
+  ``counts == 0``.
+
+Because the order is a pure function of the hit set, bit-identity between
+the incremental and scratch paths is exactly neighbor-set correctness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .build import KdTree, build_kdtree
+from .exact import radius_search
+
+__all__ = [
+    "pair_d2",
+    "canonical_pack",
+    "rebuild_from_scratch",
+    "scratch_dynamic_query",
+]
+
+
+def pair_d2(
+    coords: np.ndarray,
+    queries: np.ndarray,
+    hit_q: np.ndarray,
+    hit_slots: np.ndarray,
+) -> np.ndarray:
+    """Squared distances for (query, slot) hit pairs.
+
+    The single distance formula every dynamic engine keys its canonical
+    sort with.  It matches the ``einsum`` reduction ``frontier_sweep``
+    uses for its in-ball test, so a hit admitted by the sweep sorts under
+    the same ``d2`` bits here.
+    """
+    delta = queries[hit_q] - coords[hit_slots]
+    return np.einsum("ij,ij->i", delta, delta)
+
+
+def canonical_pack(
+    num_queries: int,
+    hit_q: np.ndarray,
+    hit_slots: np.ndarray,
+    d2: np.ndarray,
+    k_row: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack hit pairs into the canonical ``(indices, counts)`` result.
+
+    ``k_row`` gives each query row its own ``K``; the output width is the
+    maximum.  The sort key ``(query, d2, slot)`` is unique per pair, so
+    the packed result is independent of the order candidates arrived in —
+    the property that makes incremental-vs-scratch bit-identity hold.
+    """
+    k_row = np.asarray(k_row, dtype=np.int64)
+    if k_row.shape != (num_queries,):
+        raise ValueError("k_row must have one K per query row")
+    if np.any(k_row <= 0):
+        raise ValueError("every K must be positive")
+    width = int(k_row.max()) if num_queries else 0
+    indices = np.full((num_queries, width), -1, dtype=np.int64)
+    counts = np.zeros(num_queries, dtype=np.int64)
+    hit_q = np.asarray(hit_q, dtype=np.int64)
+    if hit_q.size == 0:
+        return indices, counts
+    hit_slots = np.asarray(hit_slots, dtype=np.int64)
+    order = np.lexsort((hit_slots, d2, hit_q))
+    q = hit_q[order]
+    s = hit_slots[order]
+    totals = np.bincount(q, minlength=num_queries)
+    counts = np.minimum(totals, k_row)
+    starts = np.concatenate(([0], np.cumsum(totals)[:-1]))
+    pos = np.arange(len(q)) - starts[q]
+    keep = pos < k_row[q]
+    indices[q[keep], pos[keep]] = s[keep]
+    rows = np.nonzero(counts > 0)[0]
+    if rows.size:
+        pad = np.arange(width)[None, :] >= counts[rows, None]
+        first = indices[rows, 0]
+        block = indices[rows]
+        indices[rows] = np.where(pad, first[:, None], block)
+    return indices, counts
+
+
+def rebuild_from_scratch(
+    coords: np.ndarray, alive: np.ndarray
+) -> Tuple[KdTree, np.ndarray]:
+    """Build a fresh frozen-reference tree over the alive slots.
+
+    Returns the tree plus ``slot_of_row`` mapping tree point rows back to
+    dynamic slot ids (the tree is built over the *compacted* alive
+    coordinates, in ascending slot order).
+    """
+    alive = np.asarray(alive, dtype=bool)
+    slot_of_row = np.nonzero(alive)[0].astype(np.int64)
+    if slot_of_row.size == 0:
+        raise ValueError("cannot build a tree over an empty cloud")
+    tree = build_kdtree(np.asarray(coords, dtype=np.float64)[slot_of_row])
+    return tree, slot_of_row
+
+
+def scratch_dynamic_query(
+    coords: np.ndarray,
+    alive: np.ndarray,
+    queries: np.ndarray,
+    radii: np.ndarray,
+    k_row: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-frame ground truth: rebuild, per-step search, canonical pack.
+
+    ``radii`` and ``k_row`` carry one setting per query row (broadcast a
+    scalar before calling).  Runs the frozen per-step DFS with no result
+    cap so the hit set is exact, then packs canonically.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    radii = np.asarray(radii, dtype=np.float64)
+    num_queries = queries.shape[0]
+    alive = np.asarray(alive, dtype=bool)
+    if not alive.any():
+        return canonical_pack(
+            num_queries,
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0, np.float64),
+            k_row,
+        )
+    tree, slot_of_row = rebuild_from_scratch(coords, alive)
+    hit_q: List[int] = []
+    hit_slots: List[int] = []
+    for qi in range(num_queries):
+        rows = radius_search(tree, queries[qi], float(radii[qi]), max_neighbors=None)
+        for row in rows:
+            hit_q.append(qi)
+            hit_slots.append(int(slot_of_row[row]))
+    hq = np.asarray(hit_q, dtype=np.int64)
+    hs = np.asarray(hit_slots, dtype=np.int64)
+    coords = np.asarray(coords, dtype=np.float64)
+    d2 = pair_d2(coords, queries, hq, hs) if hq.size else np.empty(0, np.float64)
+    return canonical_pack(num_queries, hq, hs, d2, k_row)

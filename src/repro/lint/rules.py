@@ -92,10 +92,11 @@ class ReferenceFreezeRule(Rule):
     id = "reference-freeze"
     description = (
         "Reference engines (kdtree/traversal.py, kdtree/exact.py, "
-        "kdtree/build.py, core/approx_search.py, core/split_tree.py, "
-        "runtime/topphase.py, nn/reference.py) must not import the "
-        "vectorized/tape engines they are the ground truth for "
-        "(runtime.batched, runtime.lockstep, runtime.treebuild, "
+        "kdtree/build.py, kdtree/dynamic_reference.py, "
+        "core/approx_search.py, core/split_tree.py, runtime/topphase.py, "
+        "nn/reference.py) must not import the vectorized/tape/incremental "
+        "engines they are the ground truth for (runtime.batched, "
+        "runtime.lockstep, runtime.treebuild, kdtree.dynamic, "
         "vectorized_top_phase, nn.tape, nn.tensor)."
     )
     motivation = (
@@ -105,13 +106,15 @@ class ReferenceFreezeRule(Rule):
         "nothing.  PR 8 extends the freeze to the closure-walking autograd "
         "reference that pins the tape engine's gradients bit for bit; PR 9 "
         "to the per-node tree builders that pin the level-synchronous "
-        "runtime.treebuild constructors."
+        "runtime.treebuild constructors; PR 10 to the rebuild-from-scratch "
+        "parity path that pins the incremental DynamicKdTree fast path."
     )
 
     FROZEN_SUFFIXES = (
         "kdtree/traversal.py",
         "kdtree/exact.py",
         "kdtree/build.py",
+        "kdtree/dynamic_reference.py",
         "core/approx_search.py",
         "core/split_tree.py",
         "runtime/topphase.py",
@@ -121,6 +124,7 @@ class ReferenceFreezeRule(Rule):
         "runtime.batched",
         "runtime.lockstep",
         "runtime.treebuild",
+        "kdtree.dynamic",
         "nn.tape",
         "nn.tensor",
     )
@@ -147,6 +151,16 @@ class ReferenceFreezeRule(Rule):
         "no_grad",
         "tape_length",
         "reset_tape",
+        "*",
+    }
+    # The rebuild-from-scratch dynamic reference must not lean on the
+    # incremental overlay it pins (the frozen builders/searches it *may*
+    # use all live beside it in already-frozen modules).
+    FORBIDDEN_KDTREE_SYMBOLS = {
+        "dynamic",
+        "DynamicKdTree",
+        "DynamicStats",
+        "DirtyRegionDigest",
         "*",
     }
 
@@ -186,6 +200,8 @@ class ReferenceFreezeRule(Rule):
                     bad = names & self.FORBIDDEN_RUNTIME_SYMBOLS
                 elif target.endswith("nn") or target == "nn":
                     bad = names & self.FORBIDDEN_NN_SYMBOLS
+                elif target.endswith("kdtree") or target == "kdtree":
+                    bad = names & self.FORBIDDEN_KDTREE_SYMBOLS
                 else:
                     bad = set()
                 if bad:

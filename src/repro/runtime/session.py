@@ -22,6 +22,7 @@ without limit the way the unbounded dict could.
 from __future__ import annotations
 
 import hashlib
+import itertools
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Hashable, Optional, Tuple
@@ -38,6 +39,7 @@ __all__ = [
     "CacheStats",
     "LruCache",
     "SearchSession",
+    "dynamic_handle",
     "geometry_digest",
     "tree_digest",
 ]
@@ -58,6 +60,17 @@ def geometry_digest(*arrays: np.ndarray) -> str:
         h.update(str(a.shape).encode())
         h.update(a.tobytes())
     return h.hexdigest()
+
+
+def dynamic_handle(digest: str, seq: int) -> str:
+    """Stable handle for one dynamic-cloud registration.
+
+    Hex (so the sharded tier's ``int(handle[:16], 16)`` routing applies
+    unchanged) and unique per registration: the content digest alone
+    would alias two independently drifting clouds that happened to start
+    from identical coordinates.
+    """
+    return hashlib.blake2b(f"{digest}:{seq}".encode(), digest_size=16).hexdigest()
 
 
 def tree_digest(tree: KdTree) -> str:
@@ -130,8 +143,28 @@ class LruCache:
             self._data.popitem(last=False)
             self.stats.evictions += 1
 
+    def pop(self, key: Hashable, default=None):
+        """Remove and return an entry (invalidation, not a lookup: no
+        hit/miss accounting, and absence is not an error)."""
+        return self._data.pop(key, default)
+
+    def drop_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return the
+        number dropped.  Invalidation, so stats are untouched."""
+        doomed = [key for key in self._data if predicate(key)]
+        for key in doomed:
+            del self._data[key]
+        return len(doomed)
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
     def clear(self) -> None:
+        """Empty the cache *and* reset its stats: a cleared cache that
+        kept reporting the old hit rate (and eviction count) made every
+        post-``SearchSession.clear()`` measurement lie."""
         self._data.clear()
+        self.reset_stats()
 
 
 class SearchSession:
@@ -168,6 +201,12 @@ class SearchSession:
         self.results = LruCache(max_results)
         self.trees = LruCache(max_trees)
         self.split_trees = LruCache(max_trees)
+        # Dynamic-cloud registry: handle -> DynamicKdTree.  State, not a
+        # cache — entries live until the caller drops the handle, and
+        # clear() leaves them alone.
+        self._dynamic: "OrderedDict[str, object]" = OrderedDict()
+        self._dynamic_layouts: dict = {}  # (handle, top_height) -> layout
+        self._dynamic_seq = itertools.count()
 
     # ------------------------------------------------------------------
     def tree_for(self, points: np.ndarray, digest: Optional[str] = None) -> KdTree:
@@ -289,7 +328,109 @@ class SearchSession:
             self.results.put(full_key, cached)
         return cached
 
+    # -- dynamic clouds ------------------------------------------------
+    def register_dynamic(
+        self, points: Optional[np.ndarray] = None, maintenance: str = "incremental"
+    ) -> str:
+        """Register a mutable cloud; returns its **stable** handle.
+
+        The handle folds the cloud's registration-time content digest
+        with a per-session sequence number (two clouds that *start*
+        identical drift independently, so they must not alias) and never
+        changes — it is the identity callers (and the sharded tier's
+        static digest routing) hold onto across mutations.  The *current*
+        content digest moves with every :meth:`update`; result caches key
+        on that, so stale entries are unreachable by construction and
+        :meth:`update` additionally drops them eagerly.
+        """
+        # Imported lazily: repro.kdtree.dynamic pulls treebuild back in
+        # through the segment builders at query time.
+        from ..kdtree.dynamic import DynamicKdTree
+
+        dyn = DynamicKdTree(points, builder=self.builder, maintenance=maintenance)
+        handle = dynamic_handle(dyn.digest, next(self._dynamic_seq))
+        self._dynamic[handle] = dyn
+        return handle
+
+    def adopt_dynamic(self, handle: str, dyn) -> None:
+        """Install a reconstructed :class:`DynamicKdTree` under ``handle``.
+
+        The worker-recovery path: after a respawn the dispatcher re-ships
+        a state snapshot, and the rebuilt replica must live under the
+        original (registration-time) handle even though its *current*
+        digest has drifted since.
+        """
+        self._dynamic[handle] = dyn
+
+    def dynamic(self, handle: str):
+        """The live :class:`DynamicKdTree` behind ``handle``."""
+        try:
+            return self._dynamic[handle]
+        except KeyError:
+            raise KeyError(f"unknown dynamic handle {handle!r}") from None
+
+    def dynamic_layout_for(self, handle: str, top_height: int):
+        """Split-tree DRAM layout of a dynamic cloud, dirty-region fresh.
+
+        The dynamic counterpart of :meth:`split_tree_for`: one layout per
+        ``(handle, top_height)`` lives as long as the registration, and
+        each access re-lays only segments rebuilt since the last call
+        (see :class:`~repro.runtime.treebuild.DynamicSplitLayout`).
+        """
+        dyn = self.dynamic(handle)
+        key = (handle, int(top_height))
+        layout = self._dynamic_layouts.get(key)
+        if layout is None:
+            from .treebuild import DynamicSplitLayout
+
+            layout = DynamicSplitLayout(dyn, int(top_height))
+            self._dynamic_layouts[key] = layout
+        else:
+            layout.refresh()
+        return layout
+
+    def update(self, handle: str, inserts=None, removes=None) -> str:
+        """Apply one frame of mutations; returns the new content digest.
+
+        Removes apply before inserts (the frame contract every replica —
+        worker, shadow, reference — shares, so slot allocation stays
+        deterministic everywhere).  Cache entries keyed under the
+        previous content digest are invalidated.
+        """
+        dyn = self.dynamic(handle)
+        old = dyn.digest
+        if removes is not None:
+            dyn.remove(removes)
+        if inserts is not None:
+            dyn.insert(inserts)
+        new = dyn.digest
+        if new != old:
+            self.invalidate(old)
+        return new
+
+    def invalidate(self, digest: str) -> int:
+        """Drop every cache entry keyed under ``digest``; return the count.
+
+        Covers the tree cache (keyed by the digest itself), the split-tree
+        cache (keyed by the structural digest of that tree), and the
+        result cache (keyed ``(caller key, digest)`` via :meth:`memo_key`).
+        """
+        dropped = 0
+        tree = self.trees.pop(digest, _MISS)
+        if tree is not _MISS:
+            dropped += 1
+            structural = tree_digest(tree)
+            dropped += self.split_trees.drop_where(
+                lambda key: isinstance(key, tuple) and key[0] == structural
+            )
+        dropped += self.results.drop_where(
+            lambda key: isinstance(key, tuple) and len(key) == 2 and key[1] == digest
+        )
+        return dropped
+
     def clear(self) -> None:
+        """Drop the caches (dynamic-cloud registrations are state, not
+        cache entries, and survive)."""
         self.results.clear()
         self.trees.clear()
         self.split_trees.clear()

@@ -25,6 +25,12 @@ callers* rather than replaying figure grids.  Three layers:
 - :func:`synthetic_trace` / :func:`replay_trace` /
   :func:`replay_trace_sharded` — the request-trace workload generator
   and replay harnesses behind ``python -m repro.analysis.cli serve``.
+- :func:`drift_trace` / :func:`replay_drift_trace` — the mutating-cloud
+  counterpart: a deterministic frame-drift stream served through
+  dynamic handles (``register_dynamic`` → per-frame ``update`` →
+  ``submit_dynamic``), with every frame's results pinned bit-identical
+  between incremental maintenance, rebuild-from-scratch-per-frame, and
+  the sharded tier.
 """
 
 from .frontend import AsyncQueryFrontend
@@ -38,8 +44,12 @@ from .service import (
 )
 from .sharded import ShardedQueryService, ShardedStats
 from .trace import (
+    DriftFrame,
+    DynamicTraceReport,
     ShardedTraceReport,
     TraceReport,
+    drift_trace,
+    replay_drift_trace,
     replay_trace,
     replay_trace_sharded,
     synthetic_trace,
@@ -47,6 +57,8 @@ from .trace import (
 
 __all__ = [
     "AsyncQueryFrontend",
+    "DriftFrame",
+    "DynamicTraceReport",
     "QueryService",
     "QueryTicket",
     "ServiceStats",
@@ -54,6 +66,8 @@ __all__ = [
     "ShardedStats",
     "ShardedTraceReport",
     "TraceReport",
+    "drift_trace",
+    "replay_drift_trace",
     "replay_trace",
     "replay_trace_sharded",
     "synthetic_trace",

@@ -156,6 +156,8 @@ class _Pending:
     __slots__ = ("digest", "points", "queries", "ticket")
 
     def __init__(self, digest, points, queries, ticket):
+        # ``digest`` is the flush grouping key: a geometry digest for
+        # static requests, ``("dyn", handle)`` for dynamic ones.
         self.digest = digest
         self.points = points
         self.queries = queries
@@ -220,9 +222,14 @@ class QueryService:
     def flush(self) -> int:
         """Serve everything queued; returns the merged sweeps *executed*.
 
-        Requests are grouped by geometry digest in arrival order; each
-        group is answered by one merged frontier advance over the group's
-        concatenated queries, then demuxed back onto the tickets.
+        Requests are grouped in arrival order — static requests by
+        geometry digest, dynamic requests by handle — and each group is
+        answered by one merged advance over its concatenated queries
+        (:meth:`~repro.runtime.batched.BatchedBallQuery.query_merged` for
+        a frozen cloud, :meth:`~repro.kdtree.dynamic.DynamicKdTree
+        .query_merged` for a mutating one), then demuxed back onto the
+        tickets.  Pending updates to a dynamic cloud are applied by its
+        lazy refresh here — between flushes, never mid-sweep.
 
         A group whose sweep fails settles its tickets with the error and
         executes nothing, so it contributes neither to the return value
@@ -235,17 +242,11 @@ class QueryService:
         batch, self._queue = self._queue, []
         t0 = self._clock()
         executed = 0
-        groups: "OrderedDict[str, List[_Pending]]" = OrderedDict()
+        groups: "OrderedDict[object, List[_Pending]]" = OrderedDict()
         for p in batch:
             groups.setdefault(p.digest, []).append(p)
-        for members in groups.values():
+        for key, members in groups.items():
             try:
-                # The digest was computed at submit time; don't re-hash
-                # the cloud just to key the tree cache.
-                tree = self.session.tree_for(
-                    members[0].points, digest=members[0].digest
-                )
-                engine = BatchedBallQuery(tree)
                 sizes = [len(p.queries) for p in members]
                 merged_queries = np.concatenate([p.queries for p in members])
                 radii = np.concatenate(
@@ -253,6 +254,13 @@ class QueryService:
                 )
                 request_ids = np.repeat(np.arange(len(members)), sizes)
                 ks = np.asarray([p.ticket.max_neighbors for p in members])
+                if isinstance(key, tuple) and key[0] == "dyn":
+                    engine = self.session.dynamic(key[1])
+                else:
+                    # The digest was computed at submit time; don't
+                    # re-hash the cloud just to key the tree cache.
+                    tree = self.session.tree_for(members[0].points, digest=key)
+                    engine = BatchedBallQuery(tree)
                 results = engine.query_merged(
                     merged_queries, radii, request_ids, ks
                 )
@@ -292,3 +300,51 @@ class QueryService:
         ticket = self.submit(points, queries, radius, max_neighbors)
         self.flush()
         return ticket.result()
+
+    # -- dynamic clouds ------------------------------------------------
+    def register_dynamic(
+        self,
+        points: Optional[np.ndarray] = None,
+        maintenance: str = "incremental",
+    ) -> str:
+        """Register a mutable cloud; returns its stable serving handle.
+
+        ``maintenance`` picks the index policy (``"incremental"`` — the
+        default segment overlay with lazy dirty-region rebuilds — or
+        ``"rebuild"``, the rebuild-from-scratch-per-frame baseline the
+        parity suites pin results against; both serve bit-identical
+        results by the canonical dynamic contract).
+        """
+        points = validate_points(points) if points is not None else None
+        return self.session.register_dynamic(points, maintenance=maintenance)
+
+    def update(self, handle: str, inserts=None, removes=None) -> str:
+        """Apply one frame of mutations (removes first, then inserts);
+        returns the cloud's new content digest.
+
+        Mutations take effect at the next flush — in-flight tickets from
+        a previous flush are already settled, queued tickets will observe
+        the post-update cloud.
+        """
+        inserts = validate_points(inserts) if inserts is not None else None
+        return self.session.update(handle, inserts=inserts, removes=removes)
+
+    def submit_dynamic(
+        self,
+        handle: str,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+    ) -> QueryTicket:
+        """Queue one request against a registered dynamic cloud.
+
+        Results follow the canonical dynamic contract (hits ordered by
+        ``(d2, slot id)``; see :mod:`repro.kdtree.dynamic_reference`),
+        evaluated against the cloud state at flush time.
+        """
+        validate_settings(radius, max_neighbors)
+        queries = validate_queries(queries)
+        self.session.dynamic(handle)  # unknown handles fail their caller now
+        ticket = QueryTicket(float(radius), int(max_neighbors), self._clock())
+        self._queue.append(_Pending(("dyn", handle), None, queries, ticket))
+        return ticket

@@ -124,18 +124,19 @@ class ShardedStats:
 
 
 class _PendingJob:
-    __slots__ = ("job_id", "digest", "points", "queries", "ticket")
+    __slots__ = ("job_id", "digest", "points", "queries", "ticket", "kind")
 
-    def __init__(self, job_id, digest, points, queries, ticket):
+    def __init__(self, job_id, digest, points, queries, ticket, kind="static"):
         self.job_id = job_id
-        self.digest = digest
+        self.digest = digest  # geometry digest, or the dynamic handle
         self.points = points  # None once the digest is registered
         self.queries = queries
         self.ticket = ticket
+        self.kind = kind
 
     def payload(self) -> Tuple:
         t = self.ticket
-        return (
+        base = (
             self.job_id,
             self.digest,
             self.points,
@@ -143,6 +144,7 @@ class _PendingJob:
             t.radius,
             t.max_neighbors,
         )
+        return base if self.kind == "static" else base + (self.kind,)
 
 
 class ShardedQueryService:
@@ -208,6 +210,11 @@ class ShardedQueryService:
             for slot in range(self.num_workers)
         ]
         self._registered: Dict[str, np.ndarray] = {}
+        # Dynamic clouds: handle -> (state-only shadow replica, worker
+        # maintenance mode).  The shadow applies every update before it
+        # ships — validating it — and is the state source for respawn.
+        self._dynamic: Dict[str, Tuple[object, str]] = {}
+        self._dynamic_seq = itertools.count()
         self._pending: List[_PendingJob] = []
         self._job_ids = itertools.count()
         self._batch_ids = itertools.count()
@@ -258,6 +265,81 @@ class ShardedQueryService:
             self._workers[slot].send(("register", digest, points))
         return digest
 
+    def register_dynamic(
+        self,
+        points: Optional[np.ndarray] = None,
+        maintenance: str = "incremental",
+    ) -> str:
+        """Register a mutable cloud on its shard; returns its handle.
+
+        The handle is stable across mutations (initial content digest
+        folded with a registration sequence number), so routing is static
+        — every update and submit for this cloud lands on the same shard.
+        The dispatcher keeps a **state-only shadow replica** (coordinates,
+        alive bits, digest — no index): it validates updates before they
+        ship and is the snapshot a respawned worker is rebuilt from.
+        """
+        self._check_open()
+        points = validate_points(points) if points is not None else None
+        from ..kdtree.dynamic import DynamicKdTree
+        from ..runtime.session import dynamic_handle
+
+        shadow = DynamicKdTree(points, maintenance="state")
+        handle = dynamic_handle(shadow.digest, next(self._dynamic_seq))
+        slot = self._slot_for(handle)
+        self._ensure_alive(slot)
+        coords, alive = shadow.state()
+        self._workers[slot].send(
+            ("register_dynamic", handle, coords, alive, maintenance)
+        )
+        self._dynamic[handle] = (shadow, maintenance)
+        return handle
+
+    def update(self, handle: str, inserts=None, removes=None) -> str:
+        """Route one frame of mutations to the owning shard; returns the
+        cloud's new content digest.
+
+        Removes apply before inserts (the shared frame contract).  The
+        mutations hit the dispatcher's shadow replica first — a malformed
+        frame (unknown/dead slot, non-finite insert) raises *here*, in
+        the caller, and never reaches the worker — then ship as an
+        ``update_handle`` message, FIFO-ordered after the registration
+        and before any later batch, i.e. applied between flushes.
+        """
+        self._check_open()
+        if handle not in self._dynamic:
+            raise KeyError(f"unknown dynamic handle {handle!r}")
+        inserts = validate_points(inserts) if inserts is not None else None
+        if removes is not None:
+            removes = np.asarray(removes, dtype=np.int64)
+        shadow, _ = self._dynamic[handle]
+        if removes is not None:
+            shadow.remove(removes)
+        if inserts is not None:
+            shadow.insert(inserts)
+        slot = self._slot_for(handle)
+        self._ensure_alive(slot)
+        self._workers[slot].send(("update_handle", handle, inserts, removes))
+        return shadow.digest
+
+    def submit_dynamic(
+        self,
+        handle: str,
+        queries: np.ndarray,
+        radius: float,
+        max_neighbors: int,
+    ) -> QueryTicket:
+        """Queue one request against a registered dynamic cloud.
+
+        Served by the owning shard against the cloud state at its flush
+        (every update shipped before this submit is applied first —
+        inbox FIFO), with the canonical dynamic result contract.
+        """
+        self._check_open()
+        if handle not in self._dynamic:
+            raise KeyError(f"unknown dynamic handle {handle!r}")
+        return self._enqueue(handle, None, queries, radius, max_neighbors, "dynamic")
+
     def submit(
         self,
         points: np.ndarray,
@@ -294,12 +376,14 @@ class ShardedQueryService:
             raise KeyError(f"unknown cloud handle {handle!r}; register() it first")
         return self._enqueue(handle, None, queries, radius, max_neighbors)
 
-    def _enqueue(self, digest, points, queries, radius, max_neighbors) -> QueryTicket:
+    def _enqueue(
+        self, digest, points, queries, radius, max_neighbors, kind="static"
+    ) -> QueryTicket:
         validate_settings(radius, max_neighbors)
         queries = validate_queries(queries)
         ticket = QueryTicket(float(radius), int(max_neighbors), self._clock())
         self._pending.append(
-            _PendingJob(next(self._job_ids), digest, points, queries, ticket)
+            _PendingJob(next(self._job_ids), digest, points, queries, ticket, kind)
         )
         return ticket
 
@@ -405,10 +489,19 @@ class ShardedQueryService:
         self._workers[slot].respawn()
         # Rebuild the fresh incarnation's shard state: every registered
         # cloud this shard owns is re-shipped (inbox FIFO guarantees the
-        # re-registrations land before any requeued batch).
+        # re-registrations land before any requeued batch).  Dynamic
+        # clouds ship their *current* shadow snapshot — slot space and
+        # digest are pure functions of it, so the replica the worker
+        # rebuilds is indistinguishable from the lost one.
         for digest, points in self._registered.items():
             if self._slot_for(digest) == slot:
                 self._workers[slot].send(("register", digest, points))
+        for handle, (shadow, maintenance) in self._dynamic.items():
+            if self._slot_for(handle) == slot:
+                coords, alive = shadow.state()
+                self._workers[slot].send(
+                    ("register_dynamic", handle, coords, alive, maintenance)
+                )
 
     def _recover_dead(self, outstanding: Dict[int, Tuple[int, List[_PendingJob]]]) -> None:
         """Respawn dead shards we are waiting on; requeue their batches."""

@@ -31,8 +31,12 @@ from .frontend import AsyncQueryFrontend
 from .service import QueryService, ServiceStats
 
 __all__ = [
+    "DriftFrame",
+    "DynamicTraceReport",
     "ShardedTraceReport",
     "TraceReport",
+    "drift_trace",
+    "replay_drift_trace",
     "replay_trace",
     "replay_trace_sharded",
     "synthetic_trace",
@@ -164,6 +168,193 @@ class ShardedTraceReport:
             if self.sharded_time
             else float("inf")
         )
+
+
+# Dynamic-scene settings pool: LiDAR-scale radii (the drift scenes span
+# tens of meters, unlike the unit-Gaussian clouds above).
+_DYN_RADII = (1.0, 1.5, 2.5)
+
+
+@dataclass
+class DriftFrame:
+    """One frame of a mutating-cloud trace: the mutation plus the frame's
+    request batches ``(queries, radius, max_neighbors)``."""
+
+    inserts: np.ndarray
+    removes: np.ndarray
+    requests: List[Tuple[np.ndarray, float, int]]
+
+
+def drift_trace(
+    num_frames: int = 50,
+    requests_per_frame: int = 2,
+    queries_per_request: int = 32,
+    num_points: int = 2048,
+    churn: float = 0.02,
+    seed: int = 0,
+) -> Tuple[np.ndarray, List[DriftFrame]]:
+    """Draw a deterministic mutating-cloud trace.
+
+    Returns ``(initial_points, frames)``: the cloud to register, then per
+    frame a mutation batch (slot-addressed removes + insert coordinates,
+    from :class:`~repro.geometry.scenes.FrameDrift`) and the frame's
+    query requests with heterogeneous ``(radius, K)`` settings.  A pure
+    function of its arguments, so every service replica replays the
+    identical stream — the precondition of the bit-identity pins.
+    """
+    from ..geometry.scenes import FrameDrift
+
+    if num_frames <= 0 or requests_per_frame <= 0:
+        raise ValueError("trace dimensions must be positive")
+    drift = FrameDrift(num_points=num_points, churn=churn, seed=seed)
+    settings_rng = np.random.default_rng(seed + 1)
+    frames: List[DriftFrame] = []
+    for _ in range(num_frames):
+        mutation = drift.step()
+        requests = [
+            (
+                drift.sample_queries(queries_per_request),
+                float(settings_rng.choice(_DYN_RADII)),
+                int(settings_rng.choice(_MAX_NEIGHBORS)),
+            )
+            for _ in range(requests_per_frame)
+        ]
+        frames.append(
+            DriftFrame(
+                inserts=mutation.inserts, removes=mutation.removes, requests=requests
+            )
+        )
+    return drift.initial_points, frames
+
+
+@dataclass
+class DynamicTraceReport:
+    """What one mutating-cloud replay measured."""
+
+    frames: int
+    requests: int
+    incremental_time: float  # wall clock, update+serve, incremental index
+    rebuild_time: float  # wall clock, update+serve, rebuild-per-frame
+    results_identical: bool  # incremental stream == rebuild stream
+    sharded_identical: Optional[bool]  # == sharded stream (None if not run)
+    num_workers: Optional[int]
+    incremental_points_indexed: int  # total build work, points
+    rebuild_points_indexed: int
+    incremental_waits: List[float]  # per-request submit-to-serve latency
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.rebuild_time / self.incremental_time
+            if self.incremental_time
+            else float("inf")
+        )
+
+
+def _replay_dynamic_frames(
+    service: QueryService, handle: str, frames: List[DriftFrame], clock
+) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], float, List[float]]:
+    """Drive one service through the trace: update, submit, flush per frame."""
+    results: List[Tuple[np.ndarray, np.ndarray]] = []
+    waits: List[float] = []
+    t0 = clock()
+    for frame in frames:
+        service.update(handle, inserts=frame.inserts, removes=frame.removes)
+        tickets = [
+            service.submit_dynamic(handle, queries, radius, k)
+            for queries, radius, k in frame.requests
+        ]
+        service.flush()
+        for ticket in tickets:
+            results.append(ticket.result())
+            waits.append(ticket.wait)
+    return results, clock() - t0, waits
+
+
+def _streams_identical(a, b) -> bool:
+    return all(
+        np.array_equal(ai, bi) and np.array_equal(ac, bc)
+        for (ai, ac), (bi, bc) in zip(a, b)
+    )
+
+
+def replay_drift_trace(
+    num_frames: int = 50,
+    requests_per_frame: int = 2,
+    queries_per_request: int = 32,
+    num_points: int = 2048,
+    churn: float = 0.02,
+    seed: int = 0,
+    num_workers: Optional[int] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> DynamicTraceReport:
+    """Replay one mutating-cloud trace three ways and pin the results.
+
+    The same frame stream — mutations and requests — is served by (1) a
+    :class:`QueryService` with incremental index maintenance, (2) one
+    with rebuild-from-scratch-per-frame maintenance, and, when
+    ``num_workers`` is set, (3) a :class:`~repro.serve.sharded
+    .ShardedQueryService` routing ``update_handle`` messages to the
+    owning shard.  Every frame's query results must be bit-identical
+    across all replicas (the canonical dynamic contract makes this exact
+    neighbor-set equality); the report also carries the wall-clock and
+    index-build-work comparison the incremental path justifies itself
+    with.
+    """
+    initial, frames = drift_trace(
+        num_frames=num_frames,
+        requests_per_frame=requests_per_frame,
+        queries_per_request=queries_per_request,
+        num_points=num_points,
+        churn=churn,
+        seed=seed,
+    )
+
+    incremental = QueryService(clock=clock)
+    inc_handle = incremental.register_dynamic(initial)
+    inc_results, inc_time, inc_waits = _replay_dynamic_frames(
+        incremental, inc_handle, frames, clock
+    )
+
+    rebuild = QueryService(clock=clock)
+    reb_handle = rebuild.register_dynamic(initial, maintenance="rebuild")
+    reb_results, reb_time, _ = _replay_dynamic_frames(
+        rebuild, reb_handle, frames, clock
+    )
+
+    sharded_identical: Optional[bool] = None
+    if num_workers is not None:
+        from .sharded import ShardedQueryService
+
+        with ShardedQueryService(num_workers=num_workers, clock=clock) as tier:
+            handle = tier.register_dynamic(initial)
+            sharded_results = []
+            for frame in frames:
+                tier.update(handle, inserts=frame.inserts, removes=frame.removes)
+                tickets = [
+                    tier.submit_dynamic(handle, queries, radius, k)
+                    for queries, radius, k in frame.requests
+                ]
+                tier.flush()
+                sharded_results.extend(t.result() for t in tickets)
+        sharded_identical = _streams_identical(sharded_results, inc_results)
+
+    return DynamicTraceReport(
+        frames=num_frames,
+        requests=num_frames * requests_per_frame,
+        incremental_time=inc_time,
+        rebuild_time=reb_time,
+        results_identical=_streams_identical(inc_results, reb_results),
+        sharded_identical=sharded_identical,
+        num_workers=num_workers,
+        incremental_points_indexed=incremental.session.dynamic(
+            inc_handle
+        ).stats.points_indexed,
+        rebuild_points_indexed=rebuild.session.dynamic(
+            reb_handle
+        ).stats.points_indexed,
+        incremental_waits=inc_waits,
+    )
 
 
 def replay_trace_sharded(

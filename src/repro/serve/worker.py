@@ -19,12 +19,28 @@ Inbox protocol (tuples, first element is the kind):
     after a respawn re-register every pinned cloud, so this build is on
     the recovery critical path.  Fire-and-forget: the inbox is FIFO, so
     a batch enqueued after a register is always served after it.
+``("register_dynamic", handle, coords, alive, maintenance)``
+    Reconstruct a mutable cloud from its ``(coords, alive)`` slot-space
+    snapshot (:meth:`~repro.kdtree.dynamic.DynamicKdTree.from_state` —
+    slot ids and content digest are pure functions of the snapshot, so a
+    respawned replica is indistinguishable from the original) and adopt
+    it into the session under the dispatcher's stable ``handle``.
+``("update_handle", handle, inserts, removes)``
+    Apply one frame of mutations to a registered dynamic cloud (removes
+    first, then inserts — the shared frame contract).  Fire-and-forget
+    and FIFO-ordered like ``register``: an update enqueued before a
+    batch is always applied before that batch is served, which is what
+    "applied between flushes" means on a shard.  The dispatcher applies
+    every update to its own shadow replica *before* shipping, so a
+    malformed mutation fails the caller at dispatch and never reaches
+    the worker.
 ``("batch", batch_id, jobs)``
     Serve ``jobs`` — each ``(job_id, digest, points_or_None, queries,
-    radius, max_neighbors)`` — through the local coalescing service (one
-    submit per job, one flush for the batch) and reply with one atomic
-    ``("result", slot, batch_id, results, delta)`` message on this
-    worker's own outbox (per-incarnation by design — see
+    radius, max_neighbors)``, with a 7th element ``"dynamic"`` marking
+    requests against a dynamic handle — through the local coalescing
+    service (one submit per job, one flush for the batch) and reply with
+    one atomic ``("result", slot, batch_id, results, delta)`` message on
+    this worker's own outbox (per-incarnation by design — see
     :class:`~repro.runtime.WorkerProcess` on why a shared result queue
     cannot survive a worker killed mid-``put``).  ``results`` is
     ``[(job_id, indices, counts, error), ...]`` in job order; ``delta``
@@ -73,8 +89,9 @@ def _serve_batch(
     stats = service.stats
     sweeps0, serve_time0 = stats.sweeps, stats.serve_time
     tickets, failures = {}, {}
-    for job_id, digest, points, queries, radius, max_neighbors in jobs:
-        if points is None:
+    for job_id, digest, points, queries, radius, max_neighbors, *rest in jobs:
+        dynamic = bool(rest) and rest[0] == "dynamic"
+        if points is None and not dynamic:
             points = registered.get(digest)
             if points is None:
                 # Can only happen if the registration was lost with a dead
@@ -85,7 +102,14 @@ def _serve_batch(
                 )
                 continue
         try:
-            tickets[job_id] = service.submit(points, queries, radius, max_neighbors)
+            if dynamic:
+                tickets[job_id] = service.submit_dynamic(
+                    digest, queries, radius, max_neighbors
+                )
+            else:
+                tickets[job_id] = service.submit(
+                    points, queries, radius, max_neighbors
+                )
         except Exception as exc:  # repro: allow[broad-except] -- whatever submit raises must travel back as this one job's error; letting it escape would kill the worker and fail every co-batched caller
             failures[job_id] = exc
     service.flush()
@@ -151,6 +175,27 @@ def serving_worker_main(
                 _, digest, points = message
                 registered[digest] = points
                 service.session.tree_for(points, digest=digest)
+            elif kind == "register_dynamic":
+                _, handle, coords, alive, maintenance = message
+                # Imported lazily like worker_session: a fork-started
+                # worker reuses the parent's loaded module.
+                from ..kdtree.dynamic import DynamicKdTree
+
+                service.session.adopt_dynamic(
+                    handle,
+                    DynamicKdTree.from_state(
+                        coords,
+                        alive,
+                        builder=service.session.builder,
+                        maintenance=maintenance,
+                    ),
+                )
+            elif kind == "update_handle":
+                _, handle, inserts, removes = message
+                # Validated dispatcher-side against the shadow replica
+                # before shipping; FIFO ordering places this after the
+                # handle's registration and before any later batch.
+                service.session.update(handle, inserts=inserts, removes=removes)
             elif kind == "batch":
                 _, batch_id, jobs = message
                 reply = _serve_batch(service, registered, slot, batch_id, jobs)

@@ -216,6 +216,52 @@ class TestReferenceFreeze:
         )
         assert lint(tmp_path).findings == []
 
+    # -- PR 10: the rebuild-from-scratch dynamic parity path joins ------
+
+    def test_dynamic_reference_importing_dynamic_module_fires(self, tmp_path):
+        self._package(tmp_path)
+        write(
+            tmp_path,
+            "pkg/kdtree/dynamic_reference.py",
+            "from .dynamic import DynamicKdTree\n",
+        )
+        assert "reference-freeze" in rules_fired(lint(tmp_path))
+
+    def test_dynamic_reference_importing_incremental_symbol_fires(self, tmp_path):
+        self._package(tmp_path)
+        write(
+            tmp_path,
+            "pkg/kdtree/dynamic_reference.py",
+            "def helper():\n"
+            "    from ..kdtree import DynamicKdTree\n"
+            "    return DynamicKdTree\n",
+        )
+        assert "reference-freeze" in rules_fired(lint(tmp_path))
+
+    def test_dynamic_reference_frozen_builders_allowed(self, tmp_path):
+        """The scratch path is built FROM the frozen per-node builders."""
+        self._package(tmp_path)
+        write(
+            tmp_path,
+            "pkg/kdtree/dynamic_reference.py",
+            "import numpy as np\n"
+            "from .build import KdTree, build_kdtree\n"
+            "from .exact import radius_search\n",
+        )
+        assert lint(tmp_path).findings == []
+
+    def test_dynamic_overlay_may_import_its_reference(self, tmp_path):
+        """One-directional again: the incremental fast path shares the
+        canonical contract helpers that live beside the frozen path."""
+        self._package(tmp_path)
+        write(
+            tmp_path,
+            "pkg/kdtree/dynamic.py",
+            "from .build import KdTree, build_kdtree\n"
+            "from .dynamic_reference import canonical_pack, pair_d2\n",
+        )
+        assert lint(tmp_path).findings == []
+
 
 # ----------------------------------------------------------------------
 # cache-truthiness

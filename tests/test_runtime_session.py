@@ -47,6 +47,50 @@ class TestLruCache:
         with pytest.raises(ValueError):
             LruCache(max_entries=0)
 
+    def test_clear_resets_stats(self):
+        """Regression (PR 10): clear() emptied the entries but kept the
+        old hit/miss/eviction counters, so the post-clear hit rate lied
+        about a cache that no longer held anything."""
+        cache = LruCache(max_entries=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("ghost")
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.evictions) == (
+            1,
+            1,
+            1,
+        )
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.evictions) == (
+            0,
+            0,
+            0,
+        )
+        assert cache.stats.hit_rate == 0.0
+
+    def test_reset_stats_keeps_entries(self):
+        cache = LruCache(max_entries=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.reset_stats()
+        assert cache.get("a") == 1  # entry survived the counter reset
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    def test_pop_and_drop_where_do_not_skew_stats(self):
+        cache = LruCache(max_entries=4)
+        cache.put(("x", 1), "a")
+        cache.put(("y", 1), "b")
+        cache.put(("y", 2), "c")
+        assert cache.pop(("x", 1)) == "a"
+        assert cache.pop("missing", "fallback") == "fallback"
+        assert cache.drop_where(lambda key: key[0] == "y") == 2
+        assert len(cache) == 0
+        # Maintenance traffic is not caller traffic: counters untouched.
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
 
 class TestSearchSession:
     def test_tree_for_reuses_tree(self, rng):
